@@ -1,0 +1,68 @@
+// Command msa-sched runs the heterogeneous-workload scheduling study
+// (the paper's concluding claim): a mixed job trace on the modular DEEP
+// system versus a monolithic machine of equal node count.
+//
+// Usage:
+//
+//	msa-sched -jobs 100
+//	msa-sched -jobs 100 -mono cm          # compare against CPU monolith
+//	msa-sched -jobs 100 -backfill=false   # FCFS ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/msa"
+	"repro/internal/sched"
+)
+
+func main() {
+	nJobs := flag.Int("jobs", 100, "number of jobs in the trace")
+	seed := flag.Int64("seed", 42, "workload seed")
+	backfill := flag.Bool("backfill", true, "enable EASY backfilling")
+	mono := flag.String("mono", "cm", "monolithic comparison kind: cm | esb | dam | none")
+	flag.Parse()
+
+	sys := msa.DEEP()
+	jobs := sched.GenWorkload(*nJobs, *seed)
+	opts := sched.Options{Backfill: *backfill}
+
+	modular := sched.Simulate(sys, jobs, opts)
+	fmt.Printf("%-22s makespan=%8.2f h  avgWait=%6.2f h  energy=%8.3f MWh\n",
+		"MSA modular", modular.Makespan/3600, modular.AvgWait/3600, modular.EnergyJ/3.6e9)
+	printUtil(modular)
+
+	if *mono != "none" {
+		var kind msa.ModuleKind
+		switch *mono {
+		case "cm":
+			kind = msa.ClusterModule
+		case "esb":
+			kind = msa.BoosterModule
+		case "dam":
+			kind = msa.DataAnalytics
+		default:
+			fmt.Fprintf(os.Stderr, "msa-sched: unknown monolithic kind %q\n", *mono)
+			os.Exit(2)
+		}
+		rep := sched.Simulate(sched.Monolithic(sys, kind), jobs, opts)
+		fmt.Printf("%-22s makespan=%8.2f h  avgWait=%6.2f h  energy=%8.3f MWh\n",
+			"monolithic "+*mono, rep.Makespan/3600, rep.AvgWait/3600, rep.EnergyJ/3.6e9)
+		fmt.Printf("\nMSA advantage: %.2fx makespan, %.2fx energy\n",
+			rep.Makespan/modular.Makespan, rep.EnergyJ/modular.EnergyJ)
+	}
+}
+
+func printUtil(rep sched.Report) {
+	names := make([]string, 0, len(rep.Utilization))
+	for n := range rep.Utilization {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("    utilization %-12s %5.1f%%\n", n, rep.Utilization[n]*100)
+	}
+}

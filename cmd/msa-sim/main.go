@@ -1,0 +1,96 @@
+// Command msa-sim inspects the reference MSA system descriptions (DEEP
+// and JUWELS, §II of the paper).
+//
+// Usage:
+//
+//	msa-sim -system deep -summary          # per-module overview
+//	msa-sim -system deep -module dam -table  # render Table I
+//	msa-sim -system juwels -summary
+//	msa-sim -system deep -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/msa"
+)
+
+func main() {
+	system := flag.String("system", "deep", "deep | juwels | lumi")
+	module := flag.String("module", "", "module kind to inspect (cm|esb|dam|sssm|nam|qm)")
+	table := flag.Bool("table", false, "render the paper's Table I (requires -module dam)")
+	summary := flag.Bool("summary", true, "print the system summary")
+	validate := flag.Bool("validate", false, "validate the system description and exit")
+	flag.Parse()
+
+	rt, err := core.NewRuntime(*system)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msa-sim: %v\n", err)
+		os.Exit(2)
+	}
+	sys := rt.System
+
+	if *validate {
+		if err := sys.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "msa-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: configuration valid (%d modules, %d nodes)\n", sys.Name, len(sys.Modules), sys.TotalNodes())
+		return
+	}
+
+	if *table {
+		dam := sys.Module(msa.DataAnalytics)
+		if dam == nil {
+			fmt.Fprintf(os.Stderr, "msa-sim: system %s has no DAM\n", sys.Name)
+			os.Exit(1)
+		}
+		fmt.Print(msa.RenderTableI(dam))
+		return
+	}
+
+	if *module != "" {
+		kind := kindFromString(*module)
+		m := sys.Module(kind)
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "msa-sim: system %s has no %s module\n", sys.Name, kind)
+			os.Exit(1)
+		}
+		fmt.Printf("%s [%s]: nodes=%d cores=%d gpus=%d fpgas=%d mem=%.0f GB power=%.0f kW\n",
+			m.Name, m.Kind, m.Nodes(), m.Cores(), m.GPUs(), m.FPGAs(), m.TotalMemGB(), m.PeakPowerW()/1000)
+		for _, g := range m.Groups {
+			fmt.Printf("  group %-10s %5d × %dx %s (%d cores/node, %.0f GB)\n",
+				g.Name, g.Count, g.Node.Sockets, g.Node.CPU.Name, g.Node.Cores(), g.Node.MemGB)
+		}
+		return
+	}
+
+	if *summary {
+		fmt.Print(sys.Summary())
+	}
+}
+
+func kindFromString(s string) msa.ModuleKind {
+	switch strings.ToLower(s) {
+	case "cm", "cluster":
+		return msa.ClusterModule
+	case "esb", "booster":
+		return msa.BoosterModule
+	case "dam":
+		return msa.DataAnalytics
+	case "sssm", "storage":
+		return msa.StorageService
+	case "nam":
+		return msa.NetworkMemory
+	case "qm", "quantum":
+		return msa.QuantumModule
+	default:
+		fmt.Fprintf(os.Stderr, "msa-sim: unknown module kind %q\n", s)
+		os.Exit(2)
+		return ""
+	}
+}

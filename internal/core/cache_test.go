@@ -1,0 +1,25 @@
+package core
+
+import "sync"
+
+// cachedRun memoizes Quick-scale experiment results so the many
+// shape-assertion tests share one execution per experiment instead of
+// re-training models per test.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]Result{}
+)
+
+func cachedRun(id string) Result {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := cache[id]; ok {
+		return r
+	}
+	r, err := RunExperiment(id, Quick)
+	if err != nil {
+		panic(err)
+	}
+	cache[id] = r
+	return r
+}

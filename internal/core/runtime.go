@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/msa"
+)
+
+// Runtime binds the experiment harness to one MSA system description.
+type Runtime struct {
+	System *msa.System
+}
+
+// NewRuntime builds a runtime for a named reference system ("deep" or
+// "juwels", case-insensitive).
+func NewRuntime(systemName string) (*Runtime, error) {
+	var sys *msa.System
+	switch strings.ToLower(systemName) {
+	case "deep":
+		sys = msa.DEEP()
+	case "juwels":
+		sys = msa.JUWELS()
+	case "lumi":
+		sys = msa.LUMI()
+	default:
+		return nil, fmt.Errorf("core: unknown system %q (want deep, juwels or lumi)", systemName)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid system config: %w", err)
+	}
+	return &Runtime{System: sys}, nil
+}
+
+// Scale selects the problem sizes the experiments run at.
+type Scale int
+
+// Experiment scales: Quick keeps every experiment in test-friendly
+// seconds; Full runs the sizes the cmd/msa-bench harness reports.
+const (
+	Quick Scale = iota
+	Full
+)

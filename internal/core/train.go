@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/distdl"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DDPConfig configures a distributed data-parallel training run: the
+// Horovod workflow of §III-A executed on the goroutine-rank MPI runtime.
+type DDPConfig struct {
+	Workers int
+	Epochs  int
+	Batch   int // per-worker batch
+	BaseLR  float64
+	// Warmup enables the warmup + linear-scaling large-batch rule; 0
+	// disables it (constant BaseLR, the ablation of E4).
+	Warmup int
+	Algo   mpi.Algo
+	FP16   bool
+	// ZeRO switches to the DeepSpeed-style sharded-optimizer trainer
+	// (Adam state split across ranks) instead of replicated SGD.
+	ZeRO bool
+	Seed int64
+}
+
+// DDPResult aggregates a run.
+type DDPResult struct {
+	FinalLoss   float64
+	TrainMetric float64 // accuracy (single-label) or micro-F1 (multi-label)
+	ValMetric   float64
+	WallSeconds float64
+	Steps       int
+	GradBytes   int64
+}
+
+// TrainResNetBigEarthNet trains the mini ResNet on a synthetic
+// BigEarthNet split, data-parallel over cfg.Workers simulated GPUs, and
+// reports multi-label micro-F1 (the BigEarthNet metric).
+func TrainResNetBigEarthNet(cfg DDPConfig, ds *data.Multispectral, split data.Split) DDPResult {
+	bands := ds.X.Dim(1)
+	build := func() *nn.Sequential {
+		return nn.ResNetMini(rand.New(rand.NewSource(cfg.Seed)), bands, ds.Classes, 8, 2)
+	}
+	loss := nn.BCEWithLogits{}
+	evalFn := func(m *nn.Sequential, idx []int) float64 {
+		x := data.SelectRows(ds.X, idx)
+		y := data.SelectRows(ds.Y, idx)
+		return nn.MultiLabelF1(m.Forward(x, false), y)
+	}
+	return runDDP(cfg, build, loss, ds.X, ds.Y, split, evalFn)
+}
+
+// TrainCovidNet trains the CXR screening CNN and reports accuracy.
+func TrainCovidNet(cfg DDPConfig, ds *data.CXRDataset, split data.Split) DDPResult {
+	oneHot := ds.OneHotLabels()
+	build := func() *nn.Sequential {
+		return nn.CovidNetMini(rand.New(rand.NewSource(cfg.Seed)), ds.X.Dim(2), data.CXRClasses)
+	}
+	loss := nn.SoftmaxCrossEntropy{}
+	evalFn := func(m *nn.Sequential, idx []int) float64 {
+		x := data.SelectRows(ds.X, idx)
+		labels := data.SelectLabels(ds.Labels, idx)
+		return nn.Accuracy(m.Forward(x, false), labels)
+	}
+	return runDDP(cfg, build, loss, ds.X, oneHot, split, evalFn)
+}
+
+// runDDP executes the generic distributed training loop: one goroutine
+// rank per worker, epoch-seeded shard shuffling, synchronous gradient
+// allreduce, and rank-0 evaluation.
+func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
+	xs, ys *tensor.Tensor, split data.Split, evalFn func(*nn.Sequential, []int) float64) DDPResult {
+
+	if cfg.Workers < 1 {
+		panic("core: DDP needs at least one worker")
+	}
+	if cfg.Algo == "" {
+		cfg.Algo = mpi.AlgoRing
+	}
+	var sched nn.Schedule
+	if cfg.Warmup > 0 {
+		sched = nn.WarmupLinearScale{Base: cfg.BaseLR, Workers: cfg.Workers, WarmupSteps: cfg.Warmup}
+	} else {
+		sched = nn.ConstLR(cfg.BaseLR)
+	}
+	comp := distdl.NoCompression
+	if cfg.FP16 {
+		comp = distdl.FP16Compression
+	}
+
+	world := mpi.NewWorld(cfg.Workers)
+	var out DDPResult
+	start := time.Now()
+	err := world.Run(func(c *mpi.Comm) error {
+		model := build()
+		type stepper interface {
+			Step(x, y *tensor.Tensor) float64
+			StepCount() int
+		}
+		var tr stepper
+		var plain *distdl.Trainer
+		if cfg.ZeRO {
+			tr = distdl.NewZeROTrainer(c, model, loss, distdl.Config{
+				Algo: cfg.Algo, Schedule: sched,
+			})
+		} else {
+			plain = distdl.NewTrainer(c, model, loss, nn.NewSGD(0.9, 1e-4), distdl.Config{
+				Algo: cfg.Algo, Compression: comp, Schedule: sched,
+			})
+			tr = plain
+		}
+		var last float64
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			shard := distdl.Shard(len(split.Train), cfg.Seed+int64(epoch), c.Rank(), cfg.Workers)
+			for _, batch := range distdl.Batches(shard, cfg.Batch) {
+				idx := make([]int, len(batch))
+				for i, b := range batch {
+					idx[i] = split.Train[b]
+				}
+				bx, by := distdl.GatherBatch(xs, ys, idx)
+				last = tr.Step(bx, by)
+			}
+		}
+		if c.Rank() == 0 {
+			out.FinalLoss = last
+			out.Steps = tr.StepCount()
+			if plain != nil {
+				out.GradBytes = plain.GradBytesSent
+			}
+			out.TrainMetric = evalFn(model, split.Train)
+			if len(split.Val) > 0 {
+				out.ValMetric = evalFn(model, split.Val)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err) // ranks only return nil here
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	return out
+}
+
+// ImputerKind selects the §IV-B model variant.
+type ImputerKind string
+
+// Imputer variants: the paper's GRU, its 1-D CNN alternative, and the
+// GRU-D extension from the related work (Che et al. [39]).
+const (
+	ImputerGRU  ImputerKind = "gru"
+	ImputerCNN  ImputerKind = "cnn"
+	ImputerGRUD ImputerKind = "grud"
+)
+
+// TrainGRUImputer trains a §IV-B imputation model with Adam. The model is
+// fitted on trainTask's hidden positions and scored on evalTask's — the
+// two tasks hide *different* random positions of the same stays, so the
+// evaluation measures generalization, not memorization.
+func TrainGRUImputer(trainTask, evalTask *data.ImputationTask, epochs int, lr float64, kind ImputerKind, seed int64) (evalMAE float64, model *nn.Sequential) {
+	rng := rand.New(rand.NewSource(seed))
+	features := trainTask.Input.Dim(2)
+	switch kind {
+	case ImputerCNN:
+		model = nn.Conv1DImputer(rng, features)
+	case ImputerGRUD:
+		model = nn.GRUDImputer(rng, features)
+	default:
+		model = nn.GRUImputer(rng, features)
+	}
+	opt := nn.NewAdam()
+	loss := nn.MaskedMAE{Mask: trainTask.EvalMask}
+	for e := 0; e < epochs; e++ {
+		model.ZeroGrads()
+		pred := model.Forward(trainTask.Input, true)
+		_, grad := loss.Forward(pred, trainTask.Target)
+		model.Backward(grad)
+		nn.ClipGradNorm(model.Params(), 5)
+		opt.Step(model.Params(), lr)
+	}
+	pred := model.Forward(evalTask.Input, false)
+	return evalTask.MAEOn(pred), model
+}

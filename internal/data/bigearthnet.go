@@ -1,0 +1,146 @@
+// Package data provides the synthetic dataset generators that stand in
+// for the paper's three data sources — BigEarthNet multispectral patches
+// (remote-sensing case study, §III), COVIDx chest X-rays (§IV-A), and
+// MIMIC-III ICU time series (§IV-B). Real datasets are gated (size,
+// access agreements, GDPR for the medical data), so each generator
+// produces structured synthetic samples that exercise the same model
+// architectures and training pipelines with controllable difficulty, as
+// recorded in DESIGN.md's substitution table.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MultispectralConfig controls the BigEarthNet-like generator.
+type MultispectralConfig struct {
+	Samples int
+	Bands   int // Sentinel-2 uses 10 usable bands at 120×120; default 4
+	Size    int // patch edge length
+	Classes int // land-cover classes (BigEarthNet-19 or -43); default 8
+	// MaxLabels is the maximum number of simultaneously active labels per
+	// patch (BigEarthNet patches are multi-label).
+	MaxLabels int
+	Noise     float64
+	Seed      int64
+}
+
+// Defaults fills zero fields with laptop-scale defaults.
+func (c MultispectralConfig) withDefaults() MultispectralConfig {
+	if c.Bands == 0 {
+		c.Bands = 4
+	}
+	if c.Size == 0 {
+		c.Size = 16
+	}
+	if c.Classes == 0 {
+		c.Classes = 8
+	}
+	if c.MaxLabels == 0 {
+		c.MaxLabels = 3
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.3
+	}
+	return c
+}
+
+// Multispectral is a generated land-cover dataset: X has shape
+// (N, Bands, Size, Size) and Y is a multi-hot (N, Classes) matrix.
+type Multispectral struct {
+	X       *tensor.Tensor
+	Y       *tensor.Tensor
+	Classes int
+}
+
+// classSignature returns the deterministic per-band reflectance profile of
+// a land-cover class (vegetation is bright in NIR, water dark everywhere,
+// urban flat, etc. — stylized but class-separable).
+func classSignature(class, bands int) []float64 {
+	sig := make([]float64, bands)
+	rng := rand.New(rand.NewSource(int64(class)*7919 + 13))
+	for b := range sig {
+		sig[b] = math.Sin(float64(class+1)*float64(b+1)*0.7) + rng.NormFloat64()*0.2
+	}
+	return sig
+}
+
+// GenMultispectral produces the synthetic BigEarthNet stand-in. Each
+// active class contributes its spectral signature inside a random
+// rectangular region of the patch (mimicking land-cover parcels), plus
+// Gaussian sensor noise.
+func GenMultispectral(cfg MultispectralConfig) *Multispectral {
+	cfg = cfg.withDefaults()
+	if cfg.Samples <= 0 {
+		panic("data: Samples must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x := tensor.New(cfg.Samples, cfg.Bands, cfg.Size, cfg.Size)
+	y := tensor.New(cfg.Samples, cfg.Classes)
+
+	sigs := make([][]float64, cfg.Classes)
+	for c := range sigs {
+		sigs[c] = classSignature(c, cfg.Bands)
+	}
+
+	for i := 0; i < cfg.Samples; i++ {
+		nLabels := 1 + rng.Intn(cfg.MaxLabels)
+		chosen := rng.Perm(cfg.Classes)[:nLabels]
+		for _, cl := range chosen {
+			y.Set(1, i, cl)
+			// Random parcel for this class.
+			x0 := rng.Intn(cfg.Size / 2)
+			y0 := rng.Intn(cfg.Size / 2)
+			w := cfg.Size/2 + rng.Intn(cfg.Size/2-1)
+			h := cfg.Size/2 + rng.Intn(cfg.Size/2-1)
+			for b := 0; b < cfg.Bands; b++ {
+				for py := y0; py < y0+h && py < cfg.Size; py++ {
+					for px := x0; px < x0+w && px < cfg.Size; px++ {
+						old := x.At(i, b, py, px)
+						x.Set(old+sigs[cl][b], i, b, py, px)
+					}
+				}
+			}
+		}
+		// Sensor noise.
+		for b := 0; b < cfg.Bands; b++ {
+			for py := 0; py < cfg.Size; py++ {
+				for px := 0; px < cfg.Size; px++ {
+					old := x.At(i, b, py, px)
+					x.Set(old+rng.NormFloat64()*cfg.Noise, i, b, py, px)
+				}
+			}
+		}
+	}
+	return &Multispectral{X: x, Y: y, Classes: cfg.Classes}
+}
+
+// FlattenFeatures returns X reshaped to (N, Bands·Size·Size) rows for
+// classical (SVM) classifiers, plus single-label targets obtained by
+// taking the lowest-indexed active class (the convention used when the
+// multi-label dataset feeds binary/multiclass SVMs).
+func (m *Multispectral) FlattenFeatures() (*tensor.Tensor, []int) {
+	n := m.X.Dim(0)
+	flat := m.X.Reshape(n, -1)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = -1
+		for c := 0; c < m.Classes; c++ {
+			if m.Y.At(i, c) > 0 {
+				labels[i] = c
+				break
+			}
+		}
+	}
+	return flat, labels
+}
+
+// String describes the dataset.
+func (m *Multispectral) String() string {
+	s := m.X.Shape()
+	return fmt.Sprintf("Multispectral{%d patches, %d bands, %dx%d, %d classes}", s[0], s[1], s[2], s[3], m.Classes)
+}

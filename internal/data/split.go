@@ -1,0 +1,48 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Split holds index lists for a train/validation partition.
+type Split struct {
+	Train, Val []int
+}
+
+// TrainValSplit shuffles [0,n) with the given seed and partitions it so
+// the validation set holds valFrac of the samples.
+func TrainValSplit(n int, valFrac float64, seed int64) Split {
+	if valFrac < 0 || valFrac >= 1 {
+		panic(fmt.Sprintf("data: valFrac %f out of [0,1)", valFrac))
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nVal := int(float64(n) * valFrac)
+	return Split{Train: idx[nVal:], Val: idx[:nVal]}
+}
+
+// SelectRows copies the given rows (axis 0) of src into a new tensor.
+func SelectRows(src *tensor.Tensor, idx []int) *tensor.Tensor {
+	shape := src.Shape()
+	rowLen := 1
+	for _, d := range shape[1:] {
+		rowLen *= d
+	}
+	outShape := append([]int{len(idx)}, shape[1:]...)
+	out := tensor.New(outShape...)
+	for i, r := range idx {
+		copy(out.Data()[i*rowLen:(i+1)*rowLen], src.Data()[r*rowLen:(r+1)*rowLen])
+	}
+	return out
+}
+
+// SelectLabels copies the given entries of an int label list.
+func SelectLabels(labels []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, r := range idx {
+		out[i] = labels[r]
+	}
+	return out
+}

@@ -1,0 +1,677 @@
+package distdl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// synthClassification builds a deterministic 2-class dataset.
+func synthClassification(seed int64, n, dim int) (*tensor.Tensor, *tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		for j := 0; j < dim; j++ {
+			x.Set(float64(c*2-1)+rng.NormFloat64()*0.8, i, j)
+		}
+		labels[i] = c
+	}
+	return x, nn.OneHot(labels, 2), labels
+}
+
+func buildModel(seed int64) *nn.Sequential {
+	return nn.MLP(rand.New(rand.NewSource(seed)), 4, 16, 2)
+}
+
+func TestShardDisjointAndComplete(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		seen := map[int]int{}
+		for r := 0; r < p; r++ {
+			for _, i := range Shard(100, 42, r, p) {
+				seen[i]++
+			}
+		}
+		if len(seen) != 100 {
+			t.Fatalf("p=%d: shards cover %d of 100", p, len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d: index %d appears %d times", p, i, c)
+			}
+		}
+	}
+}
+
+func TestShardDeterministicAcrossRanks(t *testing.T) {
+	// The shuffle must be identical for all ranks (same seed) so the
+	// partitions are consistent.
+	a := Shard(50, 7, 0, 2)
+	b := Shard(50, 7, 1, 2)
+	both := append(append([]int(nil), a...), b...)
+	sort.Ints(both)
+	for i, v := range both {
+		if v != i {
+			t.Fatalf("shards not a partition: %v", both)
+		}
+	}
+	// Different epochs shuffle differently.
+	c := Shard(50, 8, 0, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different epoch seeds should shuffle differently")
+	}
+}
+
+func TestShardPanicsOnBadRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Shard(10, 1, 2, 2)
+}
+
+func TestBatches(t *testing.T) {
+	b := Batches([]int{1, 2, 3, 4, 5}, 2)
+	if len(b) != 3 || len(b[2]) != 1 || b[2][0] != 5 {
+		t.Fatalf("batches: %v", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on batch size 0")
+		}
+	}()
+	Batches([]int{1}, 0)
+}
+
+func TestGatherBatch(t *testing.T) {
+	xs := tensor.FromSlice([]float64{0, 0, 1, 1, 2, 2, 3, 3}, 4, 2)
+	ys := tensor.FromSlice([]float64{0, 1, 2, 3}, 4, 1)
+	bx, by := GatherBatch(xs, ys, []int{2, 0})
+	if bx.At(0, 0) != 2 || bx.At(1, 1) != 0 || by.At(0, 0) != 2 || by.At(1, 0) != 0 {
+		t.Fatalf("gather: %v %v", bx.Data(), by.Data())
+	}
+}
+
+func TestGatherBatchPanicsOutOfRange(t *testing.T) {
+	xs := tensor.New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gatherRows(xs, []int{5})
+}
+
+// TestDistributedMatchesSequential is the key correctness property of
+// synchronous data parallelism: p workers with local batch b must produce
+// exactly the same parameter trajectory as 1 worker with batch p·b
+// (identical global batch, averaged gradients).
+func TestDistributedMatchesSequential(t *testing.T) {
+	xs, ys, _ := synthClassification(1, 64, 4)
+	const steps = 5
+
+	// Sequential reference: batch 16.
+	ref := buildModel(100)
+	refOpt := nn.NewSGD(0.9, 0)
+	loss := nn.SoftmaxCrossEntropy{}
+	for s := 0; s < steps; s++ {
+		idx := make([]int, 16)
+		for i := range idx {
+			idx[i] = (s*16 + i) % 64
+		}
+		bx, by := GatherBatch(xs, ys, idx)
+		ref.ZeroGrads()
+		out := ref.Forward(bx, true)
+		_, grad := loss.Forward(out, by)
+		ref.Backward(grad)
+		refOpt.Step(ref.Params(), 0.05)
+	}
+
+	// Distributed: 4 workers × batch 4 covering the same 16 samples/step.
+	const p = 4
+	w := mpi.NewWorld(p)
+	finals := make([][]float64, p)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildModel(100) // same init seed on every rank
+		tr := NewTrainer(c, model, loss, nn.NewSGD(0.9, 0), Config{
+			Algo: mpi.AlgoRing, Schedule: nn.ConstLR(0.05),
+		})
+		for s := 0; s < steps; s++ {
+			idx := make([]int, 4)
+			for i := range idx {
+				idx[i] = (s*16 + c.Rank()*4 + i) % 64
+			}
+			bx, by := GatherBatch(xs, ys, idx)
+			tr.Step(bx, by)
+		}
+		finals[c.Rank()] = nn.FlattenValues(model.Params())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFlat := nn.FlattenValues(ref.Params())
+	for r := 0; r < p; r++ {
+		for i := range refFlat {
+			if math.Abs(finals[r][i]-refFlat[i]) > 1e-9 {
+				t.Fatalf("rank %d param %d diverged: %g vs %g", r, i, finals[r][i], refFlat[i])
+			}
+		}
+	}
+}
+
+func TestParamsStayInSync(t *testing.T) {
+	xs, ys, _ := synthClassification(2, 48, 4)
+	const p = 3
+	w := mpi.NewWorld(p)
+	err := w.Run(func(c *mpi.Comm) error {
+		// Different init seeds per rank: broadcast must fix that.
+		model := buildModel(int64(c.Rank()))
+		tr := NewTrainer(c, model, nn.SoftmaxCrossEntropy{}, nn.NewAdam(), Config{})
+		if !tr.ParamsInSync() {
+			return fmt.Errorf("params not in sync after broadcast")
+		}
+		for epoch := 0; epoch < 2; epoch++ {
+			shard := Shard(48, int64(epoch), c.Rank(), p)
+			for _, batch := range Batches(shard, 8) {
+				bx, by := GatherBatch(xs, ys, batch)
+				tr.Step(bx, by)
+			}
+		}
+		if !tr.ParamsInSync() {
+			return fmt.Errorf("params diverged after training")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainingConvergesDistributed(t *testing.T) {
+	xs, ys, labels := synthClassification(3, 80, 4)
+	const p = 4
+	w := mpi.NewWorld(p)
+	var acc float64
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildModel(55)
+		tr := NewTrainer(c, model, nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{
+			Schedule: nn.WarmupLinearScale{Base: 0.01, Workers: p, WarmupSteps: 10},
+		})
+		var last float64
+		for epoch := 0; epoch < 15; epoch++ {
+			shard := Shard(80, int64(epoch), c.Rank(), p)
+			for _, batch := range Batches(shard, 5) {
+				bx, by := GatherBatch(xs, ys, batch)
+				last = tr.Step(bx, by)
+			}
+		}
+		if last > 0.2 {
+			return fmt.Errorf("loss %f did not converge", last)
+		}
+		if c.Rank() == 0 {
+			acc = nn.Accuracy(model.Forward(xs, false), labels)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("distributed training accuracy %f", acc)
+	}
+}
+
+func TestFP16CompressionStillConverges(t *testing.T) {
+	xs, ys, labels := synthClassification(4, 60, 4)
+	const p = 2
+	w := mpi.NewWorld(p)
+	var acc float64
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildModel(66)
+		tr := NewTrainer(c, model, nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{
+			Compression: FP16Compression, Schedule: nn.ConstLR(0.05),
+		})
+		for epoch := 0; epoch < 15; epoch++ {
+			shard := Shard(60, int64(epoch), c.Rank(), p)
+			for _, batch := range Batches(shard, 6) {
+				bx, by := GatherBatch(xs, ys, batch)
+				tr.Step(bx, by)
+			}
+		}
+		if c.Rank() == 0 {
+			acc = nn.Accuracy(model.Forward(xs, false), labels)
+		}
+		// fp16 wire format must be charged at half the bytes.
+		if tr.GradBytesSent <= 0 {
+			return fmt.Errorf("no gradient traffic accounted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("fp16 training accuracy %f", acc)
+	}
+}
+
+func TestFP16HalvesWireBytes(t *testing.T) {
+	xs, ys, _ := synthClassification(5, 16, 4)
+	run := func(comp Compression) int64 {
+		w := mpi.NewWorld(2)
+		var bytes int64
+		_ = w.Run(func(c *mpi.Comm) error {
+			model := buildModel(1)
+			tr := NewTrainer(c, model, nn.SoftmaxCrossEntropy{}, nn.NewSGD(0, 0), Config{Compression: comp})
+			bx, by := GatherBatch(xs, ys, []int{0, 1, 2, 3})
+			tr.Step(bx, by)
+			if c.Rank() == 0 {
+				bytes = tr.GradBytesSent
+			}
+			return nil
+		})
+		return bytes
+	}
+	full := run(NoCompression)
+	half := run(FP16Compression)
+	if half*2 != full {
+		t.Fatalf("fp16 bytes %d, fp32 bytes %d", half, full)
+	}
+}
+
+func TestZeROMatchesDenseAdam(t *testing.T) {
+	// ZeRO-1 sharding must produce (numerically) the same trajectory as
+	// ordinary data-parallel Adam: sharding is an implementation detail.
+	xs, ys, _ := synthClassification(6, 32, 4)
+	const p = 4
+	const steps = 4
+
+	// Reference: plain distributed Adam.
+	wRef := mpi.NewWorld(p)
+	var refFinal []float64
+	err := wRef.Run(func(c *mpi.Comm) error {
+		model := buildModel(200)
+		tr := NewTrainer(c, model, nn.SoftmaxCrossEntropy{}, nn.NewAdam(), Config{Schedule: nn.ConstLR(0.01)})
+		for s := 0; s < steps; s++ {
+			idx := []int{(s*p + c.Rank()) % 32}
+			bx, by := GatherBatch(xs, ys, idx)
+			tr.Step(bx, by)
+		}
+		if c.Rank() == 0 {
+			refFinal = nn.FlattenValues(model.Params())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wZ := mpi.NewWorld(p)
+	var zFinal []float64
+	shardSizes := make([]int, p)
+	err = wZ.Run(func(c *mpi.Comm) error {
+		model := buildModel(200)
+		tr := NewZeROTrainer(c, model, nn.SoftmaxCrossEntropy{}, Config{Schedule: nn.ConstLR(0.01)})
+		for s := 0; s < steps; s++ {
+			idx := []int{(s*p + c.Rank()) % 32}
+			bx, by := GatherBatch(xs, ys, idx)
+			tr.Step(bx, by)
+		}
+		if c.Rank() == 0 {
+			zFinal = nn.FlattenValues(model.Params())
+		}
+		shardSizes[c.Rank()] = tr.ShardSize()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardTotal := 0
+	for _, s := range shardSizes {
+		shardTotal += s
+	}
+	n := nn.NumParams(buildModel(200).Params())
+	if shardTotal != n {
+		t.Fatalf("shards cover %d of %d optimizer elements", shardTotal, n)
+	}
+	for i := range refFinal {
+		if math.Abs(refFinal[i]-zFinal[i]) > 1e-8 {
+			t.Fatalf("ZeRO diverged from dense Adam at %d: %g vs %g", i, refFinal[i], zFinal[i])
+		}
+	}
+}
+
+func TestZeROShardMemorySaving(t *testing.T) {
+	const p = 4
+	w := mpi.NewWorld(p)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildModel(9)
+		tr := NewZeROTrainer(c, model, nn.SoftmaxCrossEntropy{}, Config{})
+		full := nn.NumParams(model.Params())
+		if tr.ShardSize() > full/p+1 {
+			return fmt.Errorf("shard %d too large for %d params on %d ranks", tr.ShardSize(), full, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- fp16 round-trip properties ---
+
+func TestFP16KnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0:       0,
+		1:       1,
+		-1:      -1,
+		0.5:     0.5,
+		2:       2,
+		65504:   65504, // max half
+		1.0 / 3: 0.333251953125,
+	}
+	for in, want := range cases {
+		got := FromFP16(ToFP16(in))
+		if got != want {
+			t.Fatalf("fp16(%g) = %g, want %g", in, got, want)
+		}
+	}
+	if !math.IsInf(FromFP16(ToFP16(1e10)), 1) {
+		t.Fatal("overflow must saturate to +Inf")
+	}
+	if !math.IsInf(FromFP16(ToFP16(math.Inf(-1))), -1) {
+		t.Fatal("-Inf must round trip")
+	}
+	if !math.IsNaN(FromFP16(ToFP16(math.NaN()))) {
+		t.Fatal("NaN must round trip")
+	}
+	if FromFP16(ToFP16(1e-30)) != 0 {
+		t.Fatal("tiny values must flush to zero")
+	}
+}
+
+// Property: fp16 conversion is idempotent and error is within half ULP.
+func TestFP16RoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		// Focus on the representable range of gradients.
+		x = math.Mod(x, 1000)
+		once := FromFP16(ToFP16(x))
+		twice := FromFP16(ToFP16(once))
+		if once != twice {
+			return false // must be idempotent
+		}
+		if x == 0 {
+			return once == 0
+		}
+		relErr := math.Abs(once-x) / math.Max(math.Abs(x), 6e-5)
+		return relErr < 1.5e-3 // half has ~11 bits: rel err ≤ 2^-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFP16Subnormals(t *testing.T) {
+	// 2^-24 is the smallest positive subnormal half.
+	tiny := math.Pow(2, -24)
+	if FromFP16(ToFP16(tiny)) != tiny {
+		t.Fatalf("smallest subnormal: %g", FromFP16(ToFP16(tiny)))
+	}
+	// Just below half of it flushes to zero.
+	if FromFP16(ToFP16(tiny/4)) != 0 {
+		t.Fatal("sub-subnormal must flush")
+	}
+}
+
+func TestDistributedArgmaxMatchesSingle(t *testing.T) {
+	xs, _, _ := synthClassification(20, 30, 4)
+	model := buildModel(7)
+	blob, err := nn.SaveModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := model.Forward(xs, false).ArgmaxRows()
+	for _, p := range []int{1, 2, 3, 5} {
+		w := mpi.NewWorld(p)
+		results := make([][]int, p)
+		err := w.Run(func(c *mpi.Comm) error {
+			replica := buildModel(1234)
+			if err := nn.LoadModel(replica, blob); err != nil {
+				return err
+			}
+			results[c.Rank()] = DistributedArgmax(c, replica, xs, 4)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < p; r++ {
+			if len(results[r]) != len(ref) {
+				t.Fatalf("p=%d rank %d: %d predictions, want %d", p, r, len(results[r]), len(ref))
+			}
+			for i := range ref {
+				if results[r][i] != ref[i] {
+					t.Fatalf("p=%d rank %d sample %d: %d vs %d", p, r, i, results[r][i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedArgmaxPanicsOnBadBatch(t *testing.T) {
+	xs, _, _ := synthClassification(21, 4, 4)
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		defer func() { recover() }()
+		DistributedArgmax(c, buildModel(1), xs, 0)
+		return fmt.Errorf("expected panic")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferenceThroughput(t *testing.T) {
+	if InferenceThroughput(100, 2) != 50 {
+		t.Fatal("throughput math")
+	}
+	if InferenceThroughput(100, 0) != 0 {
+		t.Fatal("zero-duration guard")
+	}
+}
+
+// TestCheckpointResumeExact is the checkpoint/restart invariant (the
+// workflow the NAM accelerates, ref [12]): training k steps, saving,
+// resuming in a fresh process, and training k more must equal an
+// uninterrupted 2k-step run bit-for-bit — including optimizer momenta
+// and the schedule position.
+func TestCheckpointResumeExact(t *testing.T) {
+	xs, ys, _ := synthClassification(30, 40, 4)
+	sched := nn.StepDecay{Base: 0.05, Gamma: 0.5, DecayEvery: 3}
+	step := func(tr *Trainer, s int) {
+		idx := []int{(s * 4) % 40, (s*4 + 1) % 40, (s*4 + 2) % 40, (s*4 + 3) % 40}
+		bx, by := GatherBatch(xs, ys, idx)
+		tr.Step(bx, by)
+	}
+
+	// Uninterrupted run: 8 steps.
+	w1 := mpi.NewWorld(1)
+	var ref []float64
+	_ = w1.Run(func(c *mpi.Comm) error {
+		tr := NewTrainer(c, buildModel(500), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{Schedule: sched})
+		for s := 0; s < 8; s++ {
+			step(tr, s)
+		}
+		ref = nn.FlattenValues(tr.Model.Params())
+		return nil
+	})
+
+	// Interrupted: 4 steps, checkpoint, new trainer, restore, 4 more.
+	var blob []byte
+	w2 := mpi.NewWorld(1)
+	_ = w2.Run(func(c *mpi.Comm) error {
+		tr := NewTrainer(c, buildModel(500), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{Schedule: sched})
+		for s := 0; s < 4; s++ {
+			step(tr, s)
+		}
+		var err error
+		blob, err = tr.Checkpoint()
+		return err
+	})
+
+	var resumed []float64
+	w3 := mpi.NewWorld(1)
+	_ = w3.Run(func(c *mpi.Comm) error {
+		tr := NewTrainer(c, buildModel(12345), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{Schedule: sched})
+		if err := tr.Restore(blob); err != nil {
+			return err
+		}
+		if tr.StepCount() != 4 {
+			return fmt.Errorf("restored step count %d", tr.StepCount())
+		}
+		for s := 4; s < 8; s++ {
+			step(tr, s)
+		}
+		resumed = nn.FlattenValues(tr.Model.Params())
+		return nil
+	})
+
+	for i := range ref {
+		if ref[i] != resumed[i] {
+			t.Fatalf("param %d diverged after resume: %g vs %g", i, ref[i], resumed[i])
+		}
+	}
+}
+
+func TestCheckpointResumeAdam(t *testing.T) {
+	xs, ys, _ := synthClassification(31, 20, 4)
+	run := func(split bool) []float64 {
+		var blob []byte
+		var out []float64
+		w := mpi.NewWorld(1)
+		_ = w.Run(func(c *mpi.Comm) error {
+			tr := NewTrainer(c, buildModel(600), nn.SoftmaxCrossEntropy{}, nn.NewAdam(), Config{Schedule: nn.ConstLR(0.01)})
+			for s := 0; s < 3; s++ {
+				bx, by := GatherBatch(xs, ys, []int{s, s + 1})
+				tr.Step(bx, by)
+			}
+			if split {
+				var err error
+				blob, err = tr.Checkpoint()
+				return err
+			}
+			for s := 3; s < 6; s++ {
+				bx, by := GatherBatch(xs, ys, []int{s, s + 1})
+				tr.Step(bx, by)
+			}
+			out = nn.FlattenValues(tr.Model.Params())
+			return nil
+		})
+		if !split {
+			return out
+		}
+		w2 := mpi.NewWorld(1)
+		_ = w2.Run(func(c *mpi.Comm) error {
+			tr := NewTrainer(c, buildModel(77), nn.SoftmaxCrossEntropy{}, nn.NewAdam(), Config{Schedule: nn.ConstLR(0.01)})
+			if err := tr.Restore(blob); err != nil {
+				return err
+			}
+			for s := 3; s < 6; s++ {
+				bx, by := GatherBatch(xs, ys, []int{s, s + 1})
+				tr.Step(bx, by)
+			}
+			out = nn.FlattenValues(tr.Model.Params())
+			return nil
+		})
+		return out
+	}
+	a := run(false)
+	b := run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Adam resume diverged at %d", i)
+		}
+	}
+}
+
+// TestElasticRestart simulates a node failure between epochs: a 4-rank
+// run checkpoints, the "failed" world is torn down, and training resumes
+// on a 2-rank world from the checkpoint — the elastic-training workflow
+// the checkpoint/restart machinery enables. Loss must keep improving
+// after the restart.
+func TestElasticRestart(t *testing.T) {
+	xs, ys, _ := synthClassification(40, 60, 4)
+	var blob []byte
+	var lossBefore float64
+	w4 := mpi.NewWorld(4)
+	err := w4.Run(func(c *mpi.Comm) error {
+		tr := NewTrainer(c, buildModel(700), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{Schedule: nn.ConstLR(0.05)})
+		for epoch := 0; epoch < 4; epoch++ {
+			shard := Shard(60, int64(epoch), c.Rank(), 4)
+			for _, batch := range Batches(shard, 5) {
+				bx, by := GatherBatch(xs, ys, batch)
+				l := tr.Step(bx, by)
+				if c.Rank() == 0 {
+					lossBefore = l
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			var err error
+			blob, err = tr.Checkpoint()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Two nodes died": resume on a 2-rank world.
+	var lossAfter float64
+	w2 := mpi.NewWorld(2)
+	err = w2.Run(func(c *mpi.Comm) error {
+		tr := NewTrainer(c, buildModel(701), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), Config{Schedule: nn.ConstLR(0.05)})
+		if err := tr.Restore(blob); err != nil {
+			return err
+		}
+		if !tr.ParamsInSync() {
+			// Restore happened per rank from the same blob: still in sync.
+			return fmt.Errorf("ranks out of sync after restore")
+		}
+		for epoch := 4; epoch < 10; epoch++ {
+			shard := Shard(60, int64(epoch), c.Rank(), 2)
+			for _, batch := range Batches(shard, 5) {
+				bx, by := GatherBatch(xs, ys, batch)
+				l := tr.Step(bx, by)
+				if c.Rank() == 0 {
+					lossAfter = l
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossAfter >= lossBefore {
+		t.Fatalf("training did not keep improving after elastic restart: %f -> %f", lossBefore, lossAfter)
+	}
+}

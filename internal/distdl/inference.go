@@ -1,0 +1,69 @@
+package distdl
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Distributed inference: §II-A's deployment pattern — "compute-intensive
+// training can be performed on the CM module while inference and testing
+// (i.e., both less compute-intensive) can be scaled-out on the ESB".
+// Inference is embarrassingly parallel: ranks process disjoint
+// contiguous shards and the predictions are reassembled everywhere.
+
+// DistributedArgmax runs model forward over this rank's shard of xs in
+// minibatches and returns the argmax class per sample for the FULL
+// dataset, identical on every rank (gather at rank 0 + broadcast). The
+// model must already hold identical parameters on all ranks (e.g. via
+// Trainer's broadcast or nn.LoadParams).
+func DistributedArgmax(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, batch int) []int {
+	if batch < 1 {
+		panic("distdl: batch must be positive")
+	}
+	n := xs.Dim(0)
+	p, r := c.Size(), c.Rank()
+	lo, hi := r*n/p, (r+1)*n/p
+
+	local := make([]float64, 0, hi-lo)
+	for b := lo; b < hi; b += batch {
+		e := b + batch
+		if e > hi {
+			e = hi
+		}
+		idx := make([]int, e-b)
+		for i := range idx {
+			idx[i] = b + i
+		}
+		bx := gatherRows(xs, idx)
+		out := model.Forward(bx, false)
+		for _, cls := range out.ArgmaxRows() {
+			local = append(local, float64(cls))
+		}
+	}
+
+	parts := c.Gather(0, local)
+	var flat []float64
+	if r == 0 {
+		flat = make([]float64, 0, n)
+		for _, pt := range parts {
+			flat = append(flat, pt...)
+		}
+	}
+	flat = c.Bcast(0, flat)
+	preds := make([]int, len(flat))
+	for i, v := range flat {
+		preds[i] = int(v)
+	}
+	return preds
+}
+
+// InferenceThroughput reports samples/second achieved by this rank's
+// shard given a wall-clock duration measured by the caller; a convenience
+// for the scale-out experiment.
+func InferenceThroughput(samples int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(samples) / seconds
+}

@@ -1,0 +1,37 @@
+package distdl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shard computes rank's index shard for one epoch. All ranks shuffle the
+// full [0,n) index list with the same epoch-derived seed and take
+// contiguous partitions, exactly as Horovod's DistributedSampler does —
+// every sample is visited once per epoch and shards are disjoint.
+func Shard(n int, epochSeed int64, rank, size int) []int {
+	if rank < 0 || rank >= size {
+		panic(fmt.Sprintf("distdl: rank %d out of [0,%d)", rank, size))
+	}
+	idx := rand.New(rand.NewSource(epochSeed)).Perm(n)
+	lo := rank * n / size
+	hi := (rank + 1) * n / size
+	return idx[lo:hi]
+}
+
+// Batches splits an index shard into minibatches of the given size; a
+// short final batch is kept (not dropped) so small datasets still train.
+func Batches(shard []int, batchSize int) [][]int {
+	if batchSize <= 0 {
+		panic("distdl: batch size must be positive")
+	}
+	var out [][]int
+	for lo := 0; lo < len(shard); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(shard) {
+			hi = len(shard)
+		}
+		out = append(out, shard[lo:hi])
+	}
+	return out
+}

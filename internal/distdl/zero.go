@@ -1,0 +1,127 @@
+package distdl
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ZeROTrainer implements ZeRO stage-1 optimizer-state sharding as in
+// DeepSpeed (which the paper names as the more recent alternative to
+// Horovod, §III-A): gradients are reduce-scattered so each rank owns the
+// averaged gradient for only its parameter shard, the Adam moments exist
+// only for that shard (cutting optimizer memory by the world size), the
+// rank updates its shard, and an allgather restores the full updated
+// parameter vector everywhere.
+type ZeROTrainer struct {
+	Comm  *mpi.Comm
+	Model *nn.Sequential
+	Loss  nn.Loss
+	Cfg   Config
+
+	params []*nn.Param
+	n      int // total parameter count
+	lo, hi int // this rank's shard bounds
+
+	// Adam state for the local shard only.
+	m, v              []float64
+	beta1, beta2, eps float64
+	step              int
+}
+
+// NewZeROTrainer builds a sharded-optimizer replica. The world size must
+// divide nothing in particular: shards use the same chunking as the ring
+// collectives. Parameters are broadcast from rank 0.
+func NewZeROTrainer(comm *mpi.Comm, model *nn.Sequential, loss nn.Loss, cfg Config) *ZeROTrainer {
+	if cfg.Algo == "" {
+		cfg.Algo = mpi.AlgoRing
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = nn.ConstLR(0.01)
+	}
+	params := model.Params()
+	n := nn.NumParams(params)
+	p, r := comm.Size(), comm.Rank()
+	lo, hi := r*n/p, (r+1)*n/p
+	t := &ZeROTrainer{
+		Comm: comm, Model: model, Loss: loss, Cfg: cfg,
+		params: params, n: n, lo: lo, hi: hi,
+		m: make([]float64, hi-lo), v: make([]float64, hi-lo),
+		beta1: 0.9, beta2: 0.999, eps: 1e-8,
+	}
+	flat := nn.FlattenValues(params)
+	flat = comm.Bcast(0, flat)
+	nn.UnflattenValues(params, flat)
+	return t
+}
+
+// ShardSize returns the number of optimizer-state elements held locally
+// (the memory-saving headline of ZeRO).
+func (t *ZeROTrainer) ShardSize() int { return t.hi - t.lo }
+
+// Step runs one sharded optimizer step and returns the global mean loss.
+func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
+	t.Model.ZeroGrads()
+	out := t.Model.Forward(x, true)
+	loss, grad := t.Loss.Forward(out, y)
+	t.Model.Backward(grad)
+
+	flat := nn.FlattenGrads(t.params)
+	var shard []float64
+	p := t.Comm.Size()
+	if p > 1 {
+		shard = t.Comm.ReduceScatter(flat, mpi.OpSum)
+		inv := 1 / float64(p)
+		for i := range shard {
+			shard[i] *= inv
+		}
+	} else {
+		shard = flat[t.lo:t.hi]
+	}
+
+	// Adam on the local shard.
+	t.step++
+	lr := t.Cfg.Schedule.LR(t.step - 1)
+	c1 := 1 - math.Pow(t.beta1, float64(t.step))
+	c2 := 1 - math.Pow(t.beta2, float64(t.step))
+	vals := nn.FlattenValues(t.params)
+	local := vals[t.lo:t.hi]
+	for i, g := range shard {
+		t.m[i] = t.beta1*t.m[i] + (1-t.beta1)*g
+		t.v[i] = t.beta2*t.v[i] + (1-t.beta2)*g*g
+		mh := t.m[i] / c1
+		vh := t.v[i] / c2
+		local[i] -= lr * mh / (math.Sqrt(vh) + t.eps)
+	}
+
+	// Allgather the updated shards. Shards may differ in size by one
+	// chunk-boundary element, so exchange via Gather+Bcast on uneven
+	// worlds and fast Allgather when even.
+	if p > 1 {
+		if t.n%p == 0 {
+			full := t.Comm.Allgather(local)
+			nn.UnflattenValues(t.params, full)
+		} else {
+			parts := t.Comm.Gather(0, local)
+			var full []float64
+			if t.Comm.Rank() == 0 {
+				full = make([]float64, 0, t.n)
+				for _, pt := range parts {
+					full = append(full, pt...)
+				}
+			}
+			full = t.Comm.Bcast(0, full)
+			nn.UnflattenValues(t.params, full)
+		}
+	} else {
+		copy(vals[t.lo:t.hi], local)
+		nn.UnflattenValues(t.params, vals)
+	}
+
+	return t.Comm.AllreduceScalar(loss, mpi.OpSum) / float64(p)
+}
+
+// StepCount returns optimizer steps taken.
+func (t *ZeROTrainer) StepCount() int { return t.step }

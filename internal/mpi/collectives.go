@@ -1,0 +1,488 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Reserved internal tags (≥ maxUserTag). Collectives issued in the same
+// order by all ranks are race-free because mailboxes are FIFO per
+// (src, tag) pair.
+const (
+	tagBarrier = maxUserTag + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagRingRS
+	tagRingAG
+	tagRecDouble
+	tagRecAdjust
+	tagAlltoall
+)
+
+// ReduceOp is an associative, commutative elementwise reduction.
+type ReduceOp struct {
+	Name string
+	// Combine folds src into dst elementwise (dst = dst ⊕ src).
+	Combine func(dst, src []float64)
+}
+
+// Built-in reduction operations.
+var (
+	OpSum = ReduceOp{"sum", func(dst, src []float64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}}
+	OpMax = ReduceOp{"max", func(dst, src []float64) {
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}}
+	OpMin = ReduceOp{"min", func(dst, src []float64) {
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}}
+	OpProd = ReduceOp{"prod", func(dst, src []float64) {
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	}}
+)
+
+// Algo selects the Allreduce implementation.
+type Algo string
+
+// Allreduce algorithm choices. Auto picks recursive doubling for small
+// messages and ring for large ones, mirroring production MPI heuristics.
+const (
+	AlgoAuto              Algo = "auto"
+	AlgoNaive             Algo = "naive" // gather to root 0, reduce, broadcast
+	AlgoTree              Algo = "tree"  // binomial-tree reduce + binomial bcast
+	AlgoRing              Algo = "ring"  // reduce-scatter + allgather (bandwidth optimal)
+	AlgoRecursiveDoubling Algo = "recursive-doubling"
+	AlgoGCE               Algo = "gce" // FPGA Global Collective Engine offload
+)
+
+// autoRingThreshold is the message size (elements) above which Auto
+// switches from recursive doubling (latency-bound regime) to ring
+// (bandwidth-bound regime).
+const autoRingThreshold = 4096
+
+// Barrier blocks until every rank has entered it (dissemination barrier,
+// ⌈log₂ p⌉ rounds).
+func (c *Comm) Barrier() {
+	p := c.Size()
+	c.countCollective()
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		c.Send(dst, tagBarrier, nil)
+		c.Recv(src, tagBarrier)
+	}
+}
+
+// Bcast distributes root's buffer to all ranks via a binomial tree and
+// returns each rank's copy (root returns data unchanged).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	p := c.Size()
+	c.countCollective()
+	if p == 1 {
+		return data
+	}
+	// Work in a rotated rank space where root is 0.
+	vr := (c.rank - root + p) % p
+	buf := data
+	if vr != 0 {
+		// Receive from parent: the rank with vr's highest set bit cleared,
+		// mirroring the send loop below (vr sends to vr+dist for dist > vr).
+		hb := 1
+		for hb*2 <= vr {
+			hb *= 2
+		}
+		parent := (vr - hb + root) % p
+		buf, _ = c.Recv(parent, tagBcast)
+	}
+	// Send to children: vr + 2^k for k above vr's highest set bit.
+	for dist := nextPow2Above(vr); vr+dist < p; dist *= 2 {
+		child := (vr + dist + root) % p
+		c.Send(child, tagBcast, buf)
+	}
+	return buf
+}
+
+// nextPow2Above returns the smallest power of two strictly greater than
+// vr's highest set bit (1 when vr==0).
+func nextPow2Above(vr int) int {
+	if vr == 0 {
+		return 1
+	}
+	d := 1
+	for d <= vr {
+		d *= 2
+	}
+	return d
+}
+
+// Reduce combines every rank's data at root with op (binomial tree).
+// Non-root ranks return nil.
+func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
+	p := c.Size()
+	c.countCollective()
+	acc := append([]float64(nil), data...)
+	if p == 1 {
+		return acc
+	}
+	vr := (c.rank - root + p) % p
+	for dist := 1; dist < p; dist *= 2 {
+		if vr&dist != 0 {
+			parent := (vr - dist + root) % p
+			c.Send(parent, tagReduce, acc)
+			return nil
+		}
+		if vr+dist < p {
+			child := (vr + dist + root) % p
+			part, _ := c.Recv(child, tagReduce)
+			op.Combine(acc, part)
+		}
+	}
+	return acc
+}
+
+// Allreduce combines data across all ranks with op so that every rank
+// obtains the same result, using the requested algorithm.
+func (c *Comm) Allreduce(data []float64, op ReduceOp, algo Algo) []float64 {
+	c.countCollective()
+	if c.Size() == 1 {
+		return append([]float64(nil), data...)
+	}
+	if algo == AlgoAuto {
+		if len(data) >= autoRingThreshold {
+			algo = AlgoRing
+		} else {
+			algo = AlgoRecursiveDoubling
+		}
+	}
+	switch algo {
+	case AlgoNaive:
+		return c.allreduceNaive(data, op)
+	case AlgoTree:
+		out := c.Reduce(0, data, op)
+		if c.rank != 0 {
+			out = nil
+		}
+		return c.Bcast(0, out)
+	case AlgoRing:
+		return c.allreduceRing(data, op)
+	case AlgoRecursiveDoubling:
+		return c.allreduceRecDoubling(data, op)
+	case AlgoGCE:
+		return c.world.gce.allreduce(data, op)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %q", algo))
+	}
+}
+
+// allreduceNaive gathers every vector at rank 0 sequentially, reduces, and
+// broadcasts with individual sends: the O(p) baseline the GCE and ring
+// algorithms are measured against.
+func (c *Comm) allreduceNaive(data []float64, op ReduceOp) []float64 {
+	p := c.Size()
+	if c.rank == 0 {
+		acc := append([]float64(nil), data...)
+		for src := 1; src < p; src++ {
+			part, _ := c.Recv(src, tagReduce)
+			op.Combine(acc, part)
+		}
+		for dst := 1; dst < p; dst++ {
+			c.Send(dst, tagBcast, acc)
+		}
+		return acc
+	}
+	c.Send(0, tagReduce, data)
+	out, _ := c.Recv(0, tagBcast)
+	return out
+}
+
+// chunkBounds splits n elements into p nearly equal chunks and returns the
+// [lo,hi) bounds of chunk i.
+func chunkBounds(n, p, i int) (int, int) {
+	return i * n / p, (i + 1) * n / p
+}
+
+// allreduceRing is the bandwidth-optimal ring algorithm used by Horovod:
+// a reduce-scatter pass (p-1 steps) followed by an allgather pass (p-1
+// steps); each rank sends 2·n·(p-1)/p elements total.
+func (c *Comm) allreduceRing(data []float64, op ReduceOp) []float64 {
+	p, r, n := c.Size(), c.rank, len(data)
+	acc := append([]float64(nil), data...)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	// Reduce-scatter: after step s, rank r holds the partial reduction of
+	// chunk (r-s) from ranks r-s..r.
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r - s + p) % p
+		recvChunk := (r - s - 1 + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		got := c.SendRecv(right, tagRingRS, acc[slo:shi], left, tagRingRS)
+		op.Combine(acc[rlo:rhi], got)
+	}
+	// Allgather: circulate the fully reduced chunks.
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r + 1 - s + p*2) % p
+		recvChunk := (r - s + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, _ := chunkBounds(n, p, recvChunk)
+		got := c.SendRecv(right, tagRingAG, acc[slo:shi], left, tagRingAG)
+		copy(acc[rlo:rlo+len(got)], got)
+	}
+	return acc
+}
+
+// allreduceRecDoubling implements the latency-optimal recursive-doubling
+// algorithm with the standard pre/post adjustment for non-power-of-two
+// rank counts (extra ranks fold into partners first and receive the
+// result afterwards).
+func (c *Comm) allreduceRecDoubling(data []float64, op ReduceOp) []float64 {
+	p, r := c.Size(), c.rank
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+	acc := append([]float64(nil), data...)
+
+	// Pre-adjust: ranks >= p2 send their vector to rank-p2 and wait.
+	if r >= p2 {
+		c.Send(r-p2, tagRecAdjust, acc)
+		out, _ := c.Recv(r-p2, tagRecAdjust)
+		return out
+	}
+	if r < rem {
+		part, _ := c.Recv(r+p2, tagRecAdjust)
+		op.Combine(acc, part)
+	}
+	// Recursive doubling among the power-of-two group.
+	for dist := 1; dist < p2; dist *= 2 {
+		partner := r ^ dist
+		got := c.SendRecv(partner, tagRecDouble, acc, partner, tagRecDouble)
+		op.Combine(acc, got)
+	}
+	// Post-adjust: return results to the folded ranks.
+	if r < rem {
+		c.Send(r+p2, tagRecAdjust, acc)
+	}
+	return acc
+}
+
+// ReduceScatter reduces across ranks and leaves rank r holding chunk r of
+// the result; returns the chunk.
+func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
+	c.countCollective()
+	p, r, n := c.Size(), c.rank, len(data)
+	if p == 1 {
+		return append([]float64(nil), data...)
+	}
+	acc := append([]float64(nil), data...)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	// Ring indices shifted by one relative to allreduceRing so that the
+	// final fully-reduced chunk landing at rank r is chunk r (the
+	// MPI_Reduce_scatter convention).
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r - 1 - s + p*2) % p
+		recvChunk := (r - 2 - s + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		got := c.SendRecv(right, tagRingRS, acc[slo:shi], left, tagRingRS)
+		op.Combine(acc[rlo:rhi], got)
+	}
+	lo, hi := chunkBounds(n, p, r)
+	return append([]float64(nil), acc[lo:hi]...)
+}
+
+// Allgather concatenates every rank's equally-sized buffer in rank order
+// at every rank (ring algorithm).
+func (c *Comm) Allgather(data []float64) []float64 {
+	c.countCollective()
+	p, r, n := c.Size(), c.rank, len(data)
+	out := make([]float64, n*p)
+	copy(out[r*n:(r+1)*n], data)
+	if p == 1 {
+		return out
+	}
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	cur := (r + p) % p
+	for s := 0; s < p-1; s++ {
+		c.Send(right, tagAllgather, out[cur*n:(cur+1)*n])
+		got, _ := c.Recv(left, tagAllgather)
+		cur = (cur - 1 + p) % p
+		copy(out[cur*n:(cur+1)*n], got)
+	}
+	return out
+}
+
+// Gather collects every rank's buffer at root in rank order. Non-root
+// ranks return nil. Buffers may have different lengths.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	c.countCollective()
+	p := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]float64, p)
+	out[root] = append([]float64(nil), data...)
+	for i := 0; i < p; i++ {
+		if i == root {
+			continue
+		}
+		part, _ := c.Recv(i, tagGather)
+		out[i] = part
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns each rank's
+// part. Only root's parts argument is consulted.
+func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
+	c.countCollective()
+	p := c.Size()
+	if c.rank == root {
+		if len(parts) != p {
+			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", p, len(parts)))
+		}
+		for i := 0; i < p; i++ {
+			if i == root {
+				continue
+			}
+			c.Send(i, tagScatter, parts[i])
+		}
+		return append([]float64(nil), parts[root]...)
+	}
+	out, _ := c.Recv(root, tagScatter)
+	return out
+}
+
+// Alltoall performs a full personalized exchange: rank r sends parts[d]
+// to rank d and returns the slice of parts received, indexed by source
+// rank. len(parts) must equal the world size; part lengths may differ.
+func (c *Comm) Alltoall(parts [][]float64) [][]float64 {
+	c.countCollective()
+	p := c.Size()
+	if len(parts) != p {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d parts, got %d", p, len(parts)))
+	}
+	out := make([][]float64, p)
+	out[c.rank] = append([]float64(nil), parts[c.rank]...)
+	// Send in a rank-rotated order to avoid all ranks hammering rank 0
+	// first (a standard alltoall scattering pattern).
+	for s := 1; s < p; s++ {
+		dst := (c.rank + s) % p
+		c.Send(dst, tagAlltoall, parts[dst])
+	}
+	for s := 1; s < p; s++ {
+		src := (c.rank - s + p) % p
+		data, _ := c.Recv(src, tagAlltoall)
+		out[src] = data
+	}
+	return out
+}
+
+// AllreduceScalar reduces a single value across ranks; a convenience for
+// metric aggregation (loss, accuracy counts).
+func (c *Comm) AllreduceScalar(v float64, op ReduceOp) float64 {
+	out := c.Allreduce([]float64{v}, op, AlgoRecursiveDoubling)
+	return out[0]
+}
+
+// AllreduceMean averages a vector across ranks (sum allreduce then scale).
+func (c *Comm) AllreduceMean(data []float64, algo Algo) []float64 {
+	out := c.Allreduce(data, OpSum, algo)
+	inv := 1 / float64(c.Size())
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func (c *Comm) countCollective() {
+	atomic.AddInt64(&c.world.stats[c.rank].Collectives, 1)
+}
+
+// HierarchicalCostModel returns the alpha-beta cost of the two-level
+// allreduce: an intra-group ring over the fast (NVLink-class) link, a
+// ring among the p/g group leaders over the slow fabric, and an
+// intra-group broadcast. This is the communication shape of Horovod with
+// NCCL inside multi-GPU nodes (§III-A).
+func HierarchicalCostModel(p, groupSize, n int, alphaFast, betaFast, alphaSlow, betaSlow float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	g := groupSize
+	if g > p {
+		g = p
+	}
+	nodes := (p + g - 1) / g
+	nf := float64(n)
+	intra := 0.0
+	if g > 1 {
+		gf := float64(g)
+		intra = 2*(gf-1)*alphaFast + 2*(gf-1)/gf*nf*betaFast
+	}
+	inter := 0.0
+	if nodes > 1 {
+		nd := float64(nodes)
+		inter = 2*(nd-1)*alphaSlow + 2*(nd-1)/nd*nf*betaSlow
+	}
+	bcast := 0.0
+	if g > 1 {
+		bcast = float64(g-1)*alphaFast + nf*betaFast
+	}
+	return intra + inter + bcast
+}
+
+// CollectiveCostModel returns the analytic alpha-beta cost (seconds) of an
+// allreduce of n elements over p ranks for each algorithm, given per-hop
+// latency alpha (s), per-element transfer time beta (s/elem), and the GCE
+// hardware reduction factor (how much faster the in-fabric FPGA performs
+// the combine+fan-out than a software root). These closed forms are the
+// standard LogP-style costs used to project to paper-scale rank counts.
+func CollectiveCostModel(algo Algo, p, n int, alpha, beta, gceFactor float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	pf := float64(p)
+	nf := float64(n)
+	lg := math.Ceil(math.Log2(pf))
+	switch algo {
+	case AlgoNaive:
+		// Root receives p-1 vectors sequentially, then sends p-1 copies.
+		return 2 * (pf - 1) * (alpha + nf*beta)
+	case AlgoTree:
+		return 2 * lg * (alpha + nf*beta)
+	case AlgoRing:
+		return 2*(pf-1)*alpha + 2*(pf-1)/pf*nf*beta
+	case AlgoRecursiveDoubling:
+		return lg * (alpha + nf*beta)
+	case AlgoGCE:
+		// One injection + one result delivery, with the reduction pipelined
+		// in fabric hardware.
+		return (2*alpha + 2*nf*beta) / gceFactor
+	default:
+		panic(fmt.Sprintf("mpi: no cost model for algorithm %q", algo))
+	}
+}

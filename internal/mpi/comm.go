@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Comm is a rank's handle onto the world: the object through which all
+// point-to-point and collective communication happens. A Comm is owned by
+// exactly one goroutine (its rank); the underlying World is safe for the
+// concurrent use that implies.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this communicator's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// World returns the underlying world (for stats inspection).
+func (c *Comm) World() *World { return c.world }
+
+// Send delivers a copy of data to dst with the given tag. Tags must be in
+// [0, maxUserTag) for user code; internal collectives use the reserved
+// space above. Send is asynchronous-buffered: it never blocks.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	if tag < 0 {
+		panic("mpi: negative tag")
+	}
+	buf := append([]float64(nil), data...)
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
+	atomic.AddInt64(&c.world.stats[c.rank].MessagesSent, 1)
+	atomic.AddInt64(&c.world.stats[c.rank].ElemsSent, int64(len(data)))
+}
+
+// Recv blocks until a message from src (or AnySource) with the given tag
+// arrives and returns its payload and actual source rank.
+func (c *Comm) Recv(src, tag int) ([]float64, int) {
+	msg := c.world.boxes[c.rank].get(src, tag)
+	return msg.data, msg.src
+}
+
+// SendRecv sends to dst and receives from src concurrently, as in
+// MPI_Sendrecv; required inside ring algorithms to avoid deadlock with
+// blocking semantics (our Send is buffered so ordering is simple, but the
+// helper keeps ring code readable).
+func (c *Comm) SendRecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	c.Send(dst, sendTag, data)
+	out, _ := c.Recv(src, recvTag)
+	return out
+}
+
+// Probe reports whether a matching message is already queued, without
+// consuming it.
+func (c *Comm) Probe(src, tag int) bool {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, msg := range box.queue {
+		if (src == AnySource || msg.src == src) && msg.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Abort panics the calling rank with a message; provided for parity with
+// MPI_Abort in ported code paths.
+func (c *Comm) Abort(why string) {
+	panic(fmt.Sprintf("mpi: rank %d aborted: %s", c.rank, why))
+}

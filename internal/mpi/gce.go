@@ -1,0 +1,52 @@
+package mpi
+
+import "sync"
+
+// gceEngine models the Global Collective Engine: the FPGA integrated in
+// the Extreme Scale Booster's network fabric that executes MPI reductions
+// in hardware (paper Section II-A). Ranks contribute their vectors and the
+// engine combines them centrally in a single in-network pass; every
+// contributor receives the combined result. The struct is a reusable
+// generation-counted rendezvous so back-to-back collectives are safe.
+type gceEngine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	gen    int
+	count  int
+	acc    []float64
+	result []float64
+}
+
+func newGCEEngine(n int) *gceEngine {
+	g := &gceEngine{n: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// allreduce contributes data for the current generation and blocks until
+// all n ranks have contributed, then returns a copy of the combined
+// vector. The combine order follows arrival order, matching the
+// nondeterministic accumulation of a real in-network reduction tree.
+func (g *gceEngine) allreduce(data []float64, op ReduceOp) []float64 {
+	g.mu.Lock()
+	gen := g.gen
+	if g.count == 0 {
+		g.acc = append(g.acc[:0], data...)
+	} else {
+		op.Combine(g.acc, data)
+	}
+	g.count++
+	if g.count == g.n {
+		g.result = append([]float64(nil), g.acc...)
+		g.count = 0
+		g.gen++
+		g.cond.Broadcast()
+	}
+	for g.gen == gen {
+		g.cond.Wait()
+	}
+	out := append([]float64(nil), g.result...)
+	g.mu.Unlock()
+	return out
+}

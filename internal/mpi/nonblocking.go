@@ -1,0 +1,60 @@
+package mpi
+
+// Nonblocking point-to-point operations (MPI_Isend/Irecv/Wait/Test).
+// Sends in this runtime are buffered and never block, so Isend completes
+// immediately; Irecv runs the matching receive in a helper goroutine and
+// exposes a Request handle. These are the primitives communication/
+// computation overlap is built from (the overlap the DL scaling model's
+// Overlap parameter accounts for).
+
+// Request is a handle on a pending nonblocking operation.
+type Request struct {
+	done chan struct{}
+	data []float64
+	src  int
+}
+
+// Isend starts a buffered send; the returned request is already complete
+// (the payload is copied before Isend returns, so the caller may reuse
+// its buffer immediately — stricter than MPI, never looser).
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	c.Send(dst, tag, data)
+	r := &Request{done: make(chan struct{})}
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive matching (src, tag); src may be
+// AnySource.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.src = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload and source (nil/-0 semantics for sends: payload nil, src 0).
+func (r *Request) Wait() ([]float64, int) {
+	<-r.done
+	return r.data, r.src
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitAll blocks until every request completes.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		<-r.done
+	}
+}

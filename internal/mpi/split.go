@@ -1,0 +1,205 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Communicator splitting (MPI_Comm_split) and the hierarchical allreduce
+// built on it. The paper's §III-A setting — "very many GPUs connected by
+// NVLink or NVSwitches to scale beyond a large-scale HPC node setup" —
+// is exactly what hierarchical collectives exploit: a fast intra-node
+// reduce, a slower inter-node exchange among node leaders, then an
+// intra-node broadcast.
+
+// SubComm is a communicator over a subset of world ranks. It reuses the
+// world's mailboxes (messages travel between world ranks) but presents
+// group-local ranks and sizes, with a tag offset so concurrent
+// sub-communicators do not cross-talk.
+type SubComm struct {
+	parent *Comm
+	// members are world ranks in group order; myIdx is this rank's
+	// position within members.
+	members []int
+	myIdx   int
+	tagBase int
+}
+
+// splitState coordinates one Split call across ranks.
+type splitState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int
+	count   int
+	entries []splitEntry
+	result  map[int][]int // world rank → ordered group members
+}
+
+type splitEntry struct {
+	rank, color, key int
+}
+
+// Split partitions the world by color, ordering each group by (key,
+// rank), and returns this rank's sub-communicator — the semantics of
+// MPI_Comm_split. It is a collective call: every rank must invoke it.
+// Negative color means "not in any group" and returns nil.
+func (c *Comm) Split(color, key int) *SubComm {
+	c.countCollective()
+	st := c.world.split
+	st.mu.Lock()
+	gen := st.gen
+	st.entries = append(st.entries, splitEntry{rank: c.rank, color: color, key: key})
+	st.count++
+	if st.count == c.world.size {
+		groups := map[int][]splitEntry{}
+		for _, e := range st.entries {
+			if e.color >= 0 {
+				groups[e.color] = append(groups[e.color], e)
+			}
+		}
+		st.result = map[int][]int{}
+		for _, g := range groups {
+			sort.Slice(g, func(i, j int) bool {
+				if g[i].key != g[j].key {
+					return g[i].key < g[j].key
+				}
+				return g[i].rank < g[j].rank
+			})
+			members := make([]int, len(g))
+			for i, e := range g {
+				members[i] = e.rank
+			}
+			for _, e := range g {
+				st.result[e.rank] = members
+			}
+		}
+		st.entries = nil
+		st.count = 0
+		st.gen++
+		st.cond.Broadcast()
+	}
+	for st.gen == gen {
+		st.cond.Wait()
+	}
+	members := st.result[c.rank]
+	st.mu.Unlock()
+
+	if members == nil {
+		return nil
+	}
+	myIdx := -1
+	for i, r := range members {
+		if r == c.rank {
+			myIdx = i
+		}
+	}
+	// Tag space: separate block per (generation, lowest member) pair so
+	// different groups and successive splits stay isolated. Collectives
+	// inside one group are already safe by FIFO ordering.
+	return &SubComm{
+		parent:  c,
+		members: members,
+		myIdx:   myIdx,
+		tagBase: maxUserTag * 64 * (members[0] + 1),
+	}
+}
+
+// Rank returns the group-local rank.
+func (s *SubComm) Rank() int { return s.myIdx }
+
+// Size returns the group size.
+func (s *SubComm) Size() int { return len(s.members) }
+
+// WorldRank returns the world rank of group member i.
+func (s *SubComm) WorldRank(i int) int { return s.members[i] }
+
+// Send delivers data to group-local rank dst.
+func (s *SubComm) Send(dst, tag int, data []float64) {
+	s.parent.Send(s.members[dst], s.tagBase+tag, data)
+}
+
+// Recv receives from group-local rank src with the given tag.
+func (s *SubComm) Recv(src, tag int) []float64 {
+	data, _ := s.parent.Recv(s.members[src], s.tagBase+tag)
+	return data
+}
+
+// Allreduce runs a ring allreduce inside the group.
+func (s *SubComm) Allreduce(data []float64, op ReduceOp) []float64 {
+	p, r, n := s.Size(), s.myIdx, len(data)
+	if p == 1 {
+		return append([]float64(nil), data...)
+	}
+	acc := append([]float64(nil), data...)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	const ringTag = 1
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r - step + p) % p
+		recvChunk := (r - step - 1 + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		s.Send(right, ringTag, acc[slo:shi])
+		got := s.Recv(left, ringTag)
+		op.Combine(acc[rlo:rhi], got)
+	}
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r + 1 - step + p*2) % p
+		recvChunk := (r - step + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, _ := chunkBounds(n, p, recvChunk)
+		s.Send(right, ringTag+1, acc[slo:shi])
+		got := s.Recv(left, ringTag+1)
+		copy(acc[rlo:rlo+len(got)], got)
+	}
+	return acc
+}
+
+// Bcast distributes root's buffer (group-local root) linearly; groups are
+// small (node-local), so a tree buys nothing.
+func (s *SubComm) Bcast(root int, data []float64) []float64 {
+	const bcastTag = 3
+	if s.myIdx == root {
+		for i := range s.members {
+			if i != root {
+				s.Send(i, bcastTag, data)
+			}
+		}
+		return data
+	}
+	return s.Recv(root, bcastTag)
+}
+
+// HierarchicalAllreduce performs the two-level allreduce of NVLink-island
+// clusters: ring-reduce inside each node group, ring allreduce among the
+// group leaders over the slow fabric, then an intra-group broadcast.
+// groupSize is the number of ranks per node (the last group may be
+// smaller). It must be called by every rank with identical arguments.
+func (c *Comm) HierarchicalAllreduce(data []float64, op ReduceOp, groupSize int) []float64 {
+	if groupSize < 1 {
+		panic(fmt.Sprintf("mpi: groupSize must be >=1, got %d", groupSize))
+	}
+	c.countCollective()
+	node := c.rank / groupSize
+	local := c.Split(node, c.rank)
+	// Intra-node reduce: full allreduce keeps every member consistent and
+	// costs little on the fast intra-node links.
+	acc := local.Allreduce(data, op)
+
+	// Leaders (group-local rank 0) combine across nodes.
+	isLeader := local.Rank() == 0
+	var leaders *SubComm
+	if isLeader {
+		leaders = c.Split(0, c.rank)
+	} else {
+		c.Split(-1, c.rank)
+	}
+	if isLeader {
+		if leaders.Size() > 1 {
+			acc = leaders.Allreduce(acc, op)
+		}
+	}
+	// Broadcast the global result inside each node.
+	return local.Bcast(0, acc)
+}

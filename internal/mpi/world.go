@@ -1,0 +1,157 @@
+// Package mpi implements an MPI-like message-passing runtime in pure Go.
+//
+// Ranks are goroutines; a World wires them together with per-rank
+// mailboxes that preserve MPI's non-overtaking guarantee (messages between
+// the same pair with the same tag arrive in send order). On top of
+// point-to-point Send/Recv the package provides the collectives the paper's
+// distributed deep-learning workloads need — Barrier, Bcast, Reduce,
+// Allreduce, Allgather, Gather, Scatter, ReduceScatter — with selectable
+// Allreduce algorithms (naive gather-based, binomial tree, ring,
+// recursive doubling, and a simulated FPGA Global Collective Engine as in
+// the MSA's ESB fabric, Section II-A of the paper).
+//
+// The World also keeps per-rank traffic statistics so experiments can
+// report communication volume alongside wall-clock measurements.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// maxUserTag is the highest tag available to user code; larger tags are
+// reserved for internal collective traffic.
+const maxUserTag = 1 << 20
+
+// message is a single point-to-point payload in flight.
+type message struct {
+	src, tag int
+	data     []float64
+}
+
+// mailbox is a rank's incoming-message queue with blocking matched receive.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// get blocks until a message matching (src, tag) is available and removes
+// it from the queue. src may be AnySource. FIFO order among matching
+// messages is preserved.
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (src == AnySource || msg.src == src) && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// Stats aggregates communication traffic for one rank.
+type Stats struct {
+	MessagesSent int64
+	ElemsSent    int64 // float64 elements sent point-to-point
+	Collectives  int64
+}
+
+// World is a set of communicating ranks. Create one with NewWorld, then
+// either call Run to execute an SPMD function on every rank, or obtain
+// per-rank Comm handles with Comm for manual orchestration.
+type World struct {
+	size  int
+	boxes []*mailbox
+	stats []Stats
+	gce   *gceEngine
+	split *splitState
+}
+
+// NewWorld creates a world with n ranks. Panics if n < 1.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: world size must be >=1, got %d", n))
+	}
+	w := &World{size: n, boxes: make([]*mailbox, n), stats: make([]Stats, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.gce = newGCEEngine(n)
+	w.split = &splitState{}
+	w.split.cond = sync.NewCond(&w.split.mu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle for a rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run executes fn concurrently on every rank and waits for all to finish.
+// It returns the first non-nil error (by rank order).
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RankStats returns a copy of the traffic statistics for one rank.
+func (w *World) RankStats(rank int) Stats {
+	return Stats{
+		MessagesSent: atomic.LoadInt64(&w.stats[rank].MessagesSent),
+		ElemsSent:    atomic.LoadInt64(&w.stats[rank].ElemsSent),
+		Collectives:  atomic.LoadInt64(&w.stats[rank].Collectives),
+	}
+}
+
+// TotalStats sums traffic statistics across ranks.
+func (w *World) TotalStats() Stats {
+	var t Stats
+	for r := 0; r < w.size; r++ {
+		s := w.RankStats(r)
+		t.MessagesSent += s.MessagesSent
+		t.ElemsSent += s.ElemsSent
+		t.Collectives += s.Collectives
+	}
+	return t
+}

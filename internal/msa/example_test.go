@@ -1,0 +1,27 @@
+package msa_test
+
+import (
+	"fmt"
+
+	"repro/internal/msa"
+)
+
+// ExampleJUWELS verifies the paper's §II-B configuration numbers.
+func ExampleJUWELS() {
+	j := msa.JUWELS()
+	cm := j.Module(msa.ClusterModule)
+	esb := j.Module(msa.BoosterModule)
+	fmt.Printf("cluster: %d nodes, %d cores, %d GPUs\n", cm.Nodes(), cm.Cores(), cm.GPUs())
+	fmt.Printf("booster: %d nodes, %d cores, %d GPUs\n", esb.Nodes(), esb.Cores(), esb.GPUs())
+	// Output:
+	// cluster: 2583 nodes, 122768 cores, 224 GPUs
+	// booster: 940 nodes, 45024 cores, 3744 GPUs
+}
+
+// ExampleDEEP inspects the DAM module of Table I.
+func ExampleDEEP() {
+	dam := msa.DEEP().Module(msa.DataAnalytics)
+	fmt.Printf("%d nodes, %d V100, %d FPGAs, %.0f TB NVM\n",
+		dam.Nodes(), dam.GPUs(), dam.FPGAs(), dam.TotalNVMTB())
+	// Output: 16 nodes, 16 V100, 16 FPGAs, 32 TB NVM
+}

@@ -1,0 +1,262 @@
+package msa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDEEPValidates(t *testing.T) {
+	if err := DEEP().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJUWELSValidates(t *testing.T) {
+	if err := JUWELS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableIDEEPDAM checks experiment E1: the machine-readable DEEP DAM
+// config reproduces every row of the paper's Table I.
+func TestTableIDEEPDAM(t *testing.T) {
+	dam := DEEP().Module(DataAnalytics)
+	if dam == nil {
+		t.Fatal("DEEP has no DAM")
+	}
+	if dam.Nodes() != 16 {
+		t.Fatalf("Table I: 16 nodes, got %d", dam.Nodes())
+	}
+	n := dam.Groups[0].Node
+	if n.Sockets != 2 || !strings.Contains(n.CPU.Name, "Cascade Lake") {
+		t.Fatalf("Table I: 2x Cascade Lake, got %dx %s", n.Sockets, n.CPU.Name)
+	}
+	if dam.GPUs() != 16 {
+		t.Fatalf("Table I: 16 V100, got %d", dam.GPUs())
+	}
+	if dam.FPGAs() != 16 {
+		t.Fatalf("Table I: 16 STRATIX10, got %d", dam.FPGAs())
+	}
+	if n.MemGB != 384 {
+		t.Fatalf("Table I: 384 GB/node, got %.0f", n.MemGB)
+	}
+	var gpuMem, fpgaMem float64
+	for _, a := range n.Accels {
+		switch a.Spec.Class {
+		case AccelGPU:
+			gpuMem = a.Spec.MemGB
+		case AccelFPGA:
+			fpgaMem = a.Spec.MemGB
+		}
+	}
+	if gpuMem != 32 || fpgaMem != 32 {
+		t.Fatalf("Table I: 32 GB HBM2 + 32 GB FPGA DDR4, got %v/%v", gpuMem, fpgaMem)
+	}
+	if n.NVMeTB != 3.0 {
+		t.Fatalf("Table I: 2x 1.5 TB NVMe, got %.1f TB", n.NVMeTB)
+	}
+	// §II-B: aggregated 32 TB of NVM across the DAM.
+	if dam.TotalNVMTB() != 32 {
+		t.Fatalf("aggregate NVM: want 32 TB, got %.0f", dam.TotalNVMTB())
+	}
+}
+
+func TestRenderTableI(t *testing.T) {
+	out := RenderTableI(DEEP().Module(DataAnalytics))
+	for _, want := range []string{
+		"16 nodes with 2x Intel Xeon Cascade Lake",
+		"16 NVIDIA V100 GPU",
+		"16 Intel STRATIX10 FPGA PCIe3",
+		"384 GB DDR4 CPU memory /node",
+		"32 GB DDR4 FPGA memory /node",
+		"32 GB HBM2 GPU memory /node",
+		"2x 1.5 TB NVMe SSD",
+		"aggregate NVM: 32 TB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTableIPanicsOnWrongModule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RenderTableI(DEEP().Module(ClusterModule))
+}
+
+// TestJUWELSAggregates checks experiment E2: the §II-B aggregates.
+// "JUWELS ... consist of 2,583 and 940 nodes respectively, totalling
+// 122,768 CPU cores and 224 GPUs in the cluster module, and 45,024 CPU
+// cores and 3,744 GPUs in the booster module."
+func TestJUWELSAggregates(t *testing.T) {
+	j := JUWELS()
+	cm := j.Module(ClusterModule)
+	esb := j.Module(BoosterModule)
+	if cm.Nodes() != 2583 {
+		t.Fatalf("cluster nodes: want 2583, got %d", cm.Nodes())
+	}
+	if cm.Cores() != 122768 {
+		t.Fatalf("cluster cores: want 122768, got %d", cm.Cores())
+	}
+	if cm.GPUs() != 224 {
+		t.Fatalf("cluster GPUs: want 224, got %d", cm.GPUs())
+	}
+	if esb.Nodes() != 940 {
+		t.Fatalf("booster nodes: want 940, got %d", esb.Nodes())
+	}
+	if esb.Cores() != 45024 {
+		t.Fatalf("booster cores: want 45024, got %d", esb.Cores())
+	}
+	if esb.GPUs() != 3744 {
+		t.Fatalf("booster GPUs: want 3744, got %d", esb.GPUs())
+	}
+}
+
+func TestDEEPQuantumModuleMatchesPaper(t *testing.T) {
+	qm := DEEP().Module(QuantumModule)
+	if qm == nil || qm.Quantum == nil {
+		t.Fatal("DEEP lacks quantum module")
+	}
+	// §III-C: "QQ Advantage system using 5000 qubits and 35000 couplers".
+	if qm.Quantum.Qubits != 5000 || qm.Quantum.Couplers != 35000 {
+		t.Fatalf("Advantage spec: %+v", *qm.Quantum)
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	d := DEEP()
+	if d.Module(DataAnalytics).Name != "deep-dam" {
+		t.Fatal("Module(DAM)")
+	}
+	if d.ModuleByName("deep-esb") == nil || d.ModuleByName("nope") != nil {
+		t.Fatal("ModuleByName")
+	}
+	if d.Module(ModuleKind("XX")) != nil {
+		t.Fatal("unknown kind must return nil")
+	}
+}
+
+func TestNodeSpecDerived(t *testing.T) {
+	n := NodeSpec{CPU: CPUSpec{Cores: 10, ClockGHz: 2, FlopsPerCyc: 16, PowerW: 100}, Sockets: 2}
+	if n.Cores() != 20 {
+		t.Fatal("Cores")
+	}
+	if n.CPUPeakGFlops() != 20*2*16 {
+		t.Fatalf("CPUPeakGFlops: %f", n.CPUPeakGFlops())
+	}
+	n.Service = true
+	if n.Cores() != 0 {
+		t.Fatal("service nodes contribute no compute cores")
+	}
+	g := NodeSpec{Accels: []AccelAttach{{Spec: V100, Count: 4}}}
+	if g.GPUs() != 4 || g.FPGAs() != 0 {
+		t.Fatal("accelerator counting")
+	}
+	if g.GPUPeakTFlops() != 4*V100.FP32TFlops {
+		t.Fatal("GPUPeakTFlops")
+	}
+}
+
+func TestPowerAggregation(t *testing.T) {
+	dam := DEEP().Module(DataAnalytics)
+	perNode := dam.Groups[0].Node.PowerW()
+	// 2 sockets × 125 W + V100 300 W + FPGA 225 W + 150 W overhead.
+	want := 2*125 + 300 + 225 + 150.0
+	if perNode != want {
+		t.Fatalf("node power: want %.0f got %.0f", want, perNode)
+	}
+	if dam.PeakPowerW() != 16*want {
+		t.Fatal("module power aggregate")
+	}
+}
+
+func TestValidateCatchesBrokenSystems(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  func() *System
+	}{
+		{"no name", func() *System { s := DEEP(); s.Name = ""; return s }},
+		{"no modules", func() *System { s := DEEP(); s.Modules = nil; return s }},
+		{"bad federation", func() *System { s := DEEP(); s.Federation.BWGBs = 0; return s }},
+		{"duplicate names", func() *System {
+			s := DEEP()
+			s.Modules[1].Name = s.Modules[0].Name
+			return s
+		}},
+		{"sssm without storage", func() *System {
+			s := DEEP()
+			s.Module(StorageService).Storage = nil
+			return s
+		}},
+		{"qm without spec", func() *System {
+			s := DEEP()
+			s.Module(QuantumModule).Quantum.Qubits = 0
+			return s
+		}},
+		{"nam without spec", func() *System {
+			s := DEEP()
+			s.Module(NetworkMemory).NAM = nil
+			return s
+		}},
+		{"gce outside esb", func() *System {
+			s := DEEP()
+			s.Module(ClusterModule).HasGCE = true
+			return s
+		}},
+		{"module with no nodes", func() *System {
+			s := DEEP()
+			s.Module(ClusterModule).Groups = nil
+			return s
+		}},
+		{"bad interconnect", func() *System {
+			s := DEEP()
+			s.Module(ClusterModule).Interconnect.LatencyUS = 0
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.sys().Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken system", tc.name)
+		}
+	}
+}
+
+func TestSummaryMentionsEveryModule(t *testing.T) {
+	for _, sys := range []*System{DEEP(), JUWELS()} {
+		s := sys.Summary()
+		for _, m := range sys.Modules {
+			if !strings.Contains(s, m.Name) {
+				t.Fatalf("summary of %s missing module %s:\n%s", sys.Name, m.Name, s)
+			}
+		}
+	}
+}
+
+func TestTotalNodes(t *testing.T) {
+	j := JUWELS()
+	if j.TotalNodes() != 2583+940 {
+		t.Fatalf("TotalNodes: %d", j.TotalNodes())
+	}
+}
+
+func TestLUMIValidates(t *testing.T) {
+	l := LUMI()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := l.Module(BoosterModule)
+	if g.GPUs() != 2978*4 {
+		t.Fatalf("LUMI-G GPUs: %d", g.GPUs())
+	}
+	// The related-work point: LUMI uses AMD Instinct, not NVIDIA.
+	if g.Groups[0].Node.Accels[0].Spec.Name != "AMD MI250X" {
+		t.Fatal("LUMI-G must carry MI250X")
+	}
+	if l.Module(ClusterModule).Cores() != 2048*128 {
+		t.Fatalf("LUMI-C cores: %d", l.Module(ClusterModule).Cores())
+	}
+}

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (N, C, H, W) input, implemented by
+// im2col lowering so the kernel is a single matmul.
+type Conv2D struct {
+	W, B      *Param // W: (C·KH·KW, OutC), B: (OutC)
+	InC, OutC int
+	KH, KW    int
+	Stride    int
+	// PadH and PadW pad the two spatial axes independently (Conv1D uses a
+	// 1×k kernel padded only along time).
+	PadH, PadW            int
+	cols                  *tensor.Tensor // cached im2col matrix
+	inShape               []int
+	outH, outW, batchSize int
+}
+
+// NewConv2D creates a convolution with He-normal initialization.
+func NewConv2D(rng *rand.Rand, name string, inC, outC, k, stride, pad int) *Conv2D {
+	fanIn := inC * k * k
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return &Conv2D{
+		W:   NewParam(name+".W", tensor.Randn(rng, std, fanIn, outC)),
+		B:   &Param{Name: name + ".b", Value: tensor.New(outC), Grad: tensor.New(outC), NoDecay: true},
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, PadH: pad, PadW: pad,
+	}
+}
+
+// Forward lowers the input with im2col and multiplies by the filter bank.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.inShape = append(c.inShape[:0], x.Shape()...)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.batchSize = n
+	c.outH = tensor.ConvDims(h, c.KH, c.Stride, c.PadH)
+	c.outW = tensor.ConvDims(w, c.KW, c.Stride, c.PadW)
+	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	flat := tensor.MatMul(c.cols, c.W.Value) // (N·OH·OW, OutC)
+	flat.AddRowVector(c.B.Value)
+	// Rearrange (N·OH·OW, OutC) → (N, OutC, OH, OW).
+	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	c.scatterToNCHW(flat, out)
+	return out
+}
+
+// scatterToNCHW converts the matmul layout to channel-major images.
+func (c *Conv2D) scatterToNCHW(flat, out *tensor.Tensor) {
+	n, oc, oh, ow := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
+	fd, od := flat.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := ((b*oh+y)*ow + x) * oc
+				for ch := 0; ch < oc; ch++ {
+					od[((b*oc+ch)*oh+y)*ow+x] = fd[row+ch]
+				}
+			}
+		}
+	}
+}
+
+// gatherFromNCHW is the inverse of scatterToNCHW.
+func (c *Conv2D) gatherFromNCHW(img *tensor.Tensor) *tensor.Tensor {
+	n, oc, oh, ow := img.Dim(0), img.Dim(1), img.Dim(2), img.Dim(3)
+	flat := tensor.New(n*oh*ow, oc)
+	id, fd := img.Data(), flat.Data()
+	for b := 0; b < n; b++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := ((b*oh+y)*ow + x) * oc
+				for ch := 0; ch < oc; ch++ {
+					fd[row+ch] = id[((b*oc+ch)*oh+y)*ow+x]
+				}
+			}
+		}
+	}
+	return flat
+}
+
+// Backward computes filter/bias gradients and the input gradient via the
+// col2im adjoint.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dflat := c.gatherFromNCHW(dout) // (N·OH·OW, OutC)
+	c.W.Grad.AddInPlace(tensor.TMatMul(c.cols, dflat))
+	c.B.Grad.AddInPlace(tensor.SumAxis0(dflat))
+	dcols := tensor.MatMulT(dflat, c.W.Value) // (N·OH·OW, C·KH·KW)
+	return tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+}
+
+// Params returns W and b.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool is a 2-D max-pooling layer over (N, C, H, W).
+type MaxPool struct {
+	K, Stride int
+	arg       []int
+	inShape   []int
+}
+
+// NewMaxPool creates a pooling layer with window k and stride.
+func NewMaxPool(k, stride int) *MaxPool { return &MaxPool{K: k, Stride: stride} }
+
+// Forward applies max pooling and records argmax positions.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m.inShape = append(m.inShape[:0], x.Shape()...)
+	out, arg := tensor.MaxPool2D(x, m.K, m.Stride)
+	m.arg = arg
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2DBackward(dout, m.arg, m.inShape)
+}
+
+// Params returns nil.
+func (m *MaxPool) Params() []*Param { return nil }
+
+// GlobalAvgPool2D reduces (N,C,H,W) to (N,C).
+type GlobalAvgPool2D struct {
+	h, w int
+}
+
+// Forward averages each feature map.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g.h, g.w = x.Dim(2), x.Dim(3)
+	return tensor.GlobalAvgPool(x)
+}
+
+// Backward broadcasts the gradient uniformly over each map.
+func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return tensor.GlobalAvgPoolBackward(dout, g.h, g.w)
+}
+
+// Params returns nil.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// BatchNorm2D normalizes each channel of (N,C,H,W) over the batch and
+// spatial axes, with learnable scale/shift and running statistics for
+// inference.
+type BatchNorm2D struct {
+	Gamma, Beta  *Param
+	RunMean      *tensor.Tensor
+	RunVar       *tensor.Tensor
+	Momentum     float64
+	Eps          float64
+	C            int
+	xhat         *tensor.Tensor
+	invStd       []float64
+	inShape      []int
+	countPerChan float64
+}
+
+// NewBatchNorm2D creates a batch-norm layer for c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	return &BatchNorm2D{
+		Gamma:   &Param{Name: name + ".gamma", Value: tensor.Ones(c), Grad: tensor.New(c), NoDecay: true},
+		Beta:    &Param{Name: name + ".beta", Value: tensor.New(c), Grad: tensor.New(c), NoDecay: true},
+		RunMean: tensor.New(c), RunVar: tensor.Ones(c),
+		Momentum: 0.9, Eps: 1e-5, C: c,
+	}
+}
+
+// Forward normalizes per channel; in training mode it uses batch
+// statistics and updates the running averages.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	b.inShape = append(b.inShape[:0], x.Shape()...)
+	cnt := float64(n * h * w)
+	b.countPerChan = cnt
+	mean := make([]float64, c)
+	variance := make([]float64, c)
+	if train {
+		for ch := 0; ch < c; ch++ {
+			s := 0.0
+			for bi := 0; bi < n; bi++ {
+				base := ((bi*c + ch) * h) * w
+				for i := 0; i < h*w; i++ {
+					s += x.Data()[base+i]
+				}
+			}
+			mean[ch] = s / cnt
+		}
+		for ch := 0; ch < c; ch++ {
+			s := 0.0
+			for bi := 0; bi < n; bi++ {
+				base := ((bi*c + ch) * h) * w
+				for i := 0; i < h*w; i++ {
+					d := x.Data()[base+i] - mean[ch]
+					s += d * d
+				}
+			}
+			variance[ch] = s / cnt
+			b.RunMean.Data()[ch] = b.Momentum*b.RunMean.Data()[ch] + (1-b.Momentum)*mean[ch]
+			b.RunVar.Data()[ch] = b.Momentum*b.RunVar.Data()[ch] + (1-b.Momentum)*variance[ch]
+		}
+	} else {
+		copy(mean, b.RunMean.Data())
+		copy(variance, b.RunVar.Data())
+	}
+	if cap(b.invStd) < c {
+		b.invStd = make([]float64, c)
+	}
+	b.invStd = b.invStd[:c]
+	for ch := 0; ch < c; ch++ {
+		b.invStd[ch] = 1 / math.Sqrt(variance[ch]+b.Eps)
+	}
+	b.xhat = tensor.New(x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	for bi := 0; bi < n; bi++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((bi*c + ch) * h) * w
+			g := b.Gamma.Value.Data()[ch]
+			bt := b.Beta.Value.Data()[ch]
+			for i := 0; i < h*w; i++ {
+				xh := (x.Data()[base+i] - mean[ch]) * b.invStd[ch]
+				b.xhat.Data()[base+i] = xh
+				out.Data()[base+i] = g*xh + bt
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := b.inShape[0], b.inShape[1], b.inShape[2], b.inShape[3]
+	din := tensor.New(b.inShape...)
+	cnt := b.countPerChan
+	for ch := 0; ch < c; ch++ {
+		// Accumulate per-channel sums.
+		var sumDy, sumDyXhat float64
+		for bi := 0; bi < n; bi++ {
+			base := ((bi*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				dy := dout.Data()[base+i]
+				sumDy += dy
+				sumDyXhat += dy * b.xhat.Data()[base+i]
+			}
+		}
+		b.Beta.Grad.Data()[ch] += sumDy
+		b.Gamma.Grad.Data()[ch] += sumDyXhat
+		g := b.Gamma.Value.Data()[ch]
+		inv := b.invStd[ch]
+		for bi := 0; bi < n; bi++ {
+			base := ((bi*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				dy := dout.Data()[base+i]
+				xh := b.xhat.Data()[base+i]
+				din.Data()[base+i] = g * inv / cnt * (cnt*dy - sumDy - xh*sumDyXhat)
+			}
+		}
+	}
+	return din
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Residual is a ResNet basic block: out = ReLU(F(x) + shortcut(x)) where F
+// is conv-bn-relu-conv-bn and shortcut is identity or a strided 1×1
+// projection (He et al. [17], the network family of the RS case study).
+type Residual struct {
+	Main     *Sequential
+	Shortcut *Sequential // nil for identity
+	relu     ReLU
+	x        *tensor.Tensor
+	sum      *tensor.Tensor
+}
+
+// NewResidual builds a basic block with inC→outC channels and the given
+// stride on the first conv; a projection shortcut is added when shape
+// changes.
+func NewResidual(rng *rand.Rand, name string, inC, outC, stride int) *Residual {
+	main := NewSequential(
+		NewConv2D(rng, name+".conv1", inC, outC, 3, stride, 1),
+		NewBatchNorm2D(name+".bn1", outC),
+		&ReLU{},
+		NewConv2D(rng, name+".conv2", outC, outC, 3, 1, 1),
+		NewBatchNorm2D(name+".bn2", outC),
+	)
+	var shortcut *Sequential
+	if stride != 1 || inC != outC {
+		shortcut = NewSequential(
+			NewConv2D(rng, name+".proj", inC, outC, 1, stride, 0),
+			NewBatchNorm2D(name+".bnp", outC),
+		)
+	}
+	return &Residual{Main: main, Shortcut: shortcut}
+}
+
+// Forward computes ReLU(F(x) + shortcut(x)).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.x = x
+	f := r.Main.Forward(x, train)
+	var s *tensor.Tensor
+	if r.Shortcut != nil {
+		s = r.Shortcut.Forward(x, train)
+	} else {
+		s = x
+	}
+	r.sum = tensor.Add(f, s)
+	return r.relu.Forward(r.sum, train)
+}
+
+// Backward splits the gradient across the main path and the shortcut.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dsum := r.relu.Backward(dout)
+	dmain := r.Main.Backward(dsum)
+	var dshort *tensor.Tensor
+	if r.Shortcut != nil {
+		dshort = r.Shortcut.Backward(dsum)
+	} else {
+		dshort = dsum
+	}
+	return tensor.Add(dmain, dshort)
+}
+
+// Params returns parameters of both paths.
+func (r *Residual) Params() []*Param {
+	out := r.Main.Params()
+	if r.Shortcut != nil {
+		out = append(out, r.Shortcut.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package nn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ExampleSequential trains a tiny network on XOR with Adam.
+func ExampleSequential() {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	target := nn.OneHot(labels, 2)
+
+	model := nn.NewSequential(
+		nn.NewDense(rng, "h", 2, 8),
+		&nn.Tanh{},
+		nn.NewDense(rng, "o", 8, 2),
+	)
+	opt := nn.NewAdam()
+	loss := nn.SoftmaxCrossEntropy{}
+	for i := 0; i < 600; i++ {
+		model.ZeroGrads()
+		logits := model.Forward(x, true)
+		_, grad := loss.Forward(logits, target)
+		model.Backward(grad)
+		opt.Step(model.Params(), 0.01)
+	}
+	fmt.Printf("XOR accuracy: %.0f%%\n", 100*nn.Accuracy(model.Forward(x, false), labels))
+	// Output: XOR accuracy: 100%
+}
+
+// ExampleGRUImputer builds the paper's §IV-B architecture and shows its
+// shape contract: (N, T, features) in, (N, T, 1) out.
+func ExampleGRUImputer() {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.GRUImputer(rng, 12) // 6 vitals + 6 indicators
+	out := model.Forward(tensor.New(3, 24, 12), false)
+	fmt.Println(out.Shape())
+	// Output: [3 24 1]
+}
+
+// ExampleWarmupLinearScale shows the large-batch learning-rate rule used
+// for distributed training.
+func ExampleWarmupLinearScale() {
+	s := nn.WarmupLinearScale{Base: 0.1, Workers: 8, WarmupSteps: 100}
+	fmt.Printf("step 0: %.2f, step 100: %.2f\n", s.LR(0), s.LR(100))
+	// Output: step 0: 0.10, step 100: 0.80
+}

@@ -1,0 +1,325 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// GRU is a gated recurrent unit layer over sequences shaped (N, T, D),
+// producing the full hidden-state sequence (N, T, H). It implements the
+// architecture of the paper's ARDS case study (§IV-B): two stacked GRU
+// layers of 32 units feeding a Dense(1) head.
+//
+// Gate equations (update z, reset r, candidate h̃):
+//
+//	z_t = σ(x_t·Wxz + h_{t-1}·Whz + bz)
+//	r_t = σ(x_t·Wxr + h_{t-1}·Whr + br)
+//	h̃_t = tanh(x_t·Wxh + (r_t ⊙ h_{t-1})·Whh + bh)
+//	h_t = (1-z_t) ⊙ h̃_t + z_t ⊙ h_{t-1}
+type GRU struct {
+	D, H int
+	Wxz, Whz, Bz,
+	Wxr, Whr, Br,
+	Wxh, Whh, Bh *Param
+
+	// Per-timestep caches for backpropagation through time.
+	xs, hs, zs, rs, hhs []*tensor.Tensor
+	n, t                int
+}
+
+// NewGRU creates a GRU layer with Glorot-uniform input weights and
+// orthogonal-ish (scaled normal) recurrent weights.
+func NewGRU(rng *rand.Rand, name string, d, h int) *GRU {
+	bx := math.Sqrt(6.0 / float64(d+h))
+	bh := math.Sqrt(6.0 / float64(h+h))
+	mk := func(suffix string, rows, cols int, bound float64) *Param {
+		return NewParam(name+"."+suffix, tensor.RandUniform(rng, -bound, bound, rows, cols))
+	}
+	bias := func(suffix string) *Param {
+		return &Param{Name: name + "." + suffix, Value: tensor.New(h), Grad: tensor.New(h), NoDecay: true}
+	}
+	return &GRU{
+		D: d, H: h,
+		Wxz: mk("Wxz", d, h, bx), Whz: mk("Whz", h, h, bh), Bz: bias("bz"),
+		Wxr: mk("Wxr", d, h, bx), Whr: mk("Whr", h, h, bh), Br: bias("br"),
+		Wxh: mk("Wxh", d, h, bx), Whh: mk("Whh", h, h, bh), Bh: bias("bh"),
+	}
+}
+
+func sigmoidInPlace(t *tensor.Tensor) *tensor.Tensor {
+	return t.ApplyInPlace(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+}
+
+// Forward runs the recurrence over all T steps and returns (N, T, H).
+func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 3 || x.Dim(2) != g.D {
+		panic("nn: GRU expects input (N, T, D)")
+	}
+	n, t := x.Dim(0), x.Dim(1)
+	g.n, g.t = n, t
+	g.xs = g.xs[:0]
+	g.hs = g.hs[:0]
+	g.zs = g.zs[:0]
+	g.rs = g.rs[:0]
+	g.hhs = g.hhs[:0]
+
+	h := tensor.New(n, g.H) // h_0 = 0
+	g.hs = append(g.hs, h)
+	out := tensor.New(n, t, g.H)
+	for step := 0; step < t; step++ {
+		xt := sliceTime(x, step)
+		g.xs = append(g.xs, xt)
+		hPrev := g.hs[len(g.hs)-1]
+
+		z := tensor.MatMul(xt, g.Wxz.Value)
+		z.AddInPlace(tensor.MatMul(hPrev, g.Whz.Value))
+		z.AddRowVector(g.Bz.Value)
+		sigmoidInPlace(z)
+
+		r := tensor.MatMul(xt, g.Wxr.Value)
+		r.AddInPlace(tensor.MatMul(hPrev, g.Whr.Value))
+		r.AddRowVector(g.Br.Value)
+		sigmoidInPlace(r)
+
+		rh := tensor.Mul(r, hPrev)
+		hh := tensor.MatMul(xt, g.Wxh.Value)
+		hh.AddInPlace(tensor.MatMul(rh, g.Whh.Value))
+		hh.AddRowVector(g.Bh.Value)
+		hh.ApplyInPlace(math.Tanh)
+
+		hNew := tensor.New(n, g.H)
+		hd, zd, hhd, hpd := hNew.Data(), z.Data(), hh.Data(), hPrev.Data()
+		for i := range hd {
+			hd[i] = (1-zd[i])*hhd[i] + zd[i]*hpd[i]
+		}
+
+		g.zs = append(g.zs, z)
+		g.rs = append(g.rs, r)
+		g.hhs = append(g.hhs, hh)
+		g.hs = append(g.hs, hNew)
+		copyIntoTime(out, step, hNew)
+	}
+	return out
+}
+
+// Backward backpropagates through time given dout of shape (N, T, H) and
+// returns dx of shape (N, T, D).
+func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, t := g.n, g.t
+	dx := tensor.New(n, t, g.D)
+	dhNext := tensor.New(n, g.H)
+
+	for step := t - 1; step >= 0; step-- {
+		dh := tensor.Add(sliceTime(dout, step), dhNext)
+		z, r, hh := g.zs[step], g.rs[step], g.hhs[step]
+		hPrev := g.hs[step]
+		xt := g.xs[step]
+
+		// h = (1-z)·h̃ + z·hPrev
+		dz := tensor.New(n, g.H)
+		dhh := tensor.New(n, g.H)
+		dhPrev := tensor.New(n, g.H)
+		dhd, zd, hhd, hpd := dh.Data(), z.Data(), hh.Data(), hPrev.Data()
+		dzd, dhhd, dhpd := dz.Data(), dhh.Data(), dhPrev.Data()
+		for i := range dhd {
+			dzd[i] = dhd[i] * (hpd[i] - hhd[i])
+			dhhd[i] = dhd[i] * (1 - zd[i])
+			dhpd[i] = dhd[i] * zd[i]
+		}
+
+		// Candidate pre-activation: a_h = x·Wxh + (r⊙hPrev)·Whh + bh.
+		dah := tensor.New(n, g.H)
+		dahd := dah.Data()
+		for i := range dahd {
+			dahd[i] = dhhd[i] * (1 - hhd[i]*hhd[i])
+		}
+		rh := tensor.Mul(r, hPrev)
+		g.Wxh.Grad.AddInPlace(tensor.TMatMul(xt, dah))
+		g.Whh.Grad.AddInPlace(tensor.TMatMul(rh, dah))
+		g.Bh.Grad.AddInPlace(tensor.SumAxis0(dah))
+		dxt := tensor.MatMulT(dah, g.Wxh.Value)
+		drh := tensor.MatMulT(dah, g.Whh.Value)
+		// r⊙hPrev splits.
+		dr := tensor.Mul(drh, hPrev)
+		for i, v := range drh.Data() {
+			dhpd[i] += v * r.Data()[i]
+		}
+
+		// Update gate pre-activation.
+		daz := tensor.New(n, g.H)
+		dazd := daz.Data()
+		for i := range dazd {
+			dazd[i] = dzd[i] * zd[i] * (1 - zd[i])
+		}
+		g.Wxz.Grad.AddInPlace(tensor.TMatMul(xt, daz))
+		g.Whz.Grad.AddInPlace(tensor.TMatMul(hPrev, daz))
+		g.Bz.Grad.AddInPlace(tensor.SumAxis0(daz))
+		dxt.AddInPlace(tensor.MatMulT(daz, g.Wxz.Value))
+		dhPrev.AddInPlace(tensor.MatMulT(daz, g.Whz.Value))
+
+		// Reset gate pre-activation.
+		dar := tensor.New(n, g.H)
+		dard := dar.Data()
+		rd := r.Data()
+		for i := range dard {
+			dard[i] = dr.Data()[i] * rd[i] * (1 - rd[i])
+		}
+		g.Wxr.Grad.AddInPlace(tensor.TMatMul(xt, dar))
+		g.Whr.Grad.AddInPlace(tensor.TMatMul(hPrev, dar))
+		g.Br.Grad.AddInPlace(tensor.SumAxis0(dar))
+		dxt.AddInPlace(tensor.MatMulT(dar, g.Wxr.Value))
+		dhPrev.AddInPlace(tensor.MatMulT(dar, g.Whr.Value))
+
+		copyIntoTime(dx, step, dxt)
+		dhNext = dhPrev
+	}
+	return dx
+}
+
+// Params returns all nine weight/bias tensors.
+func (g *GRU) Params() []*Param {
+	return []*Param{g.Wxz, g.Whz, g.Bz, g.Wxr, g.Whr, g.Br, g.Wxh, g.Whh, g.Bh}
+}
+
+// sliceTime extracts timestep `step` of an (N, T, D) tensor as (N, D).
+func sliceTime(x *tensor.Tensor, step int) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(n, d)
+	for b := 0; b < n; b++ {
+		src := x.Data()[(b*t+step)*d : (b*t+step+1)*d]
+		copy(out.Data()[b*d:(b+1)*d], src)
+	}
+	return out
+}
+
+// copyIntoTime writes an (N, D) slice into timestep `step` of (N, T, D).
+func copyIntoTime(dst *tensor.Tensor, step int, src *tensor.Tensor) {
+	n, t, d := dst.Dim(0), dst.Dim(1), dst.Dim(2)
+	for b := 0; b < n; b++ {
+		copy(dst.Data()[(b*t+step)*d:(b*t+step+1)*d], src.Data()[b*d:(b+1)*d])
+	}
+}
+
+// TimeDistributed applies an inner layer independently at every timestep
+// of an (N, T, D) sequence by folding time into the batch axis. The
+// paper's GRU model ends in a TimeDistributed Dense(1) that emits one
+// prediction per timestep.
+type TimeDistributed struct {
+	Inner Layer
+	n, t  int
+}
+
+// NewTimeDistributed wraps a layer for per-timestep application.
+func NewTimeDistributed(inner Layer) *TimeDistributed { return &TimeDistributed{Inner: inner} }
+
+// Forward folds (N,T,D) to (N·T,D), applies the inner layer, and unfolds.
+func (td *TimeDistributed) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	td.n, td.t = x.Dim(0), x.Dim(1)
+	folded := x.Reshape(td.n*td.t, x.Dim(2))
+	out := td.Inner.Forward(folded, train)
+	return out.Reshape(td.n, td.t, out.Dim(1))
+}
+
+// Backward folds the gradient and delegates.
+func (td *TimeDistributed) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	folded := dout.Reshape(td.n*td.t, dout.Dim(2))
+	din := td.Inner.Backward(folded)
+	return din.Reshape(td.n, td.t, din.Dim(1))
+}
+
+// Params returns the inner layer's parameters.
+func (td *TimeDistributed) Params() []*Param { return td.Inner.Params() }
+
+// LastTimestep reduces (N, T, H) to the final step's hidden state (N, H);
+// used when a recurrent encoder feeds a classification head.
+type LastTimestep struct {
+	n, t, h int
+}
+
+// Forward extracts the last timestep.
+func (l *LastTimestep) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.n, l.t, l.h = x.Dim(0), x.Dim(1), x.Dim(2)
+	return sliceTime(x, l.t-1)
+}
+
+// Backward scatters the gradient into the last timestep slot.
+func (l *LastTimestep) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	din := tensor.New(l.n, l.t, l.h)
+	copyIntoTime(din, l.t-1, dout)
+	return din
+}
+
+// Params returns nil.
+func (l *LastTimestep) Params() []*Param { return nil }
+
+// Conv1D applies a 1-D convolution over (N, T, D) sequences (channels
+// last), producing (N, T', F). It is implemented by treating the sequence
+// as an (N, D, 1, T) image and reusing the 2-D machinery; it backs the
+// paper's 1-D CNN baseline for the ARDS study.
+type Conv1D struct {
+	conv *Conv2D
+	n, t int
+}
+
+// NewConv1D creates a 1-D convolution with kernel size k.
+func NewConv1D(rng *rand.Rand, name string, inD, outF, k, stride, pad int) *Conv1D {
+	c := NewConv2D(rng, name, inD, outF, 1, 1, 0)
+	// Overwrite kernel geometry to 1×k so the spatial axis is time.
+	fanIn := inD * k
+	std := math.Sqrt(2.0 / float64(fanIn))
+	c.W = NewParam(name+".W", tensor.Randn(rng, std, fanIn, outF))
+	c.KH, c.KW = 1, k
+	c.Stride = stride
+	c.PadH, c.PadW = 0, pad // pad only the time axis
+	return &Conv1D{conv: c}
+}
+
+// Forward reshapes (N,T,D) → (N,D,1,T), convolves, and restores layout.
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.n, c.t = x.Dim(0), x.Dim(1)
+	d := x.Dim(2)
+	img := toNCHW1(x, c.n, c.t, d)
+	out := c.conv.Forward(img, train) // (N, F, 1, T')
+	return fromNCHW1(out)
+}
+
+// Backward mirrors the layout conversions.
+func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dimg := toNCHW1(dout, dout.Dim(0), dout.Dim(1), dout.Dim(2))
+	din := c.conv.Backward(dimg) // (N, D, 1, T)
+	return fromNCHW1(din)
+}
+
+// Params returns the kernel parameters.
+func (c *Conv1D) Params() []*Param { return c.conv.Params() }
+
+// toNCHW1 converts (N,T,D) channels-last to (N,D,1,T).
+func toNCHW1(x *tensor.Tensor, n, t, d int) *tensor.Tensor {
+	out := tensor.New(n, d, 1, t)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for step := 0; step < t; step++ {
+			for ch := 0; ch < d; ch++ {
+				od[(b*d+ch)*t+step] = xd[(b*t+step)*d+ch]
+			}
+		}
+	}
+	return out
+}
+
+// fromNCHW1 converts (N,F,1,T) back to (N,T,F).
+func fromNCHW1(img *tensor.Tensor) *tensor.Tensor {
+	n, f, t := img.Dim(0), img.Dim(1), img.Dim(3)
+	out := tensor.New(n, t, f)
+	id, od := img.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for step := 0; step < t; step++ {
+			for ch := 0; ch < f; ch++ {
+				od[(b*t+step)*f+ch] = id[(b*f+ch)*t+step]
+			}
+		}
+	}
+	return out
+}

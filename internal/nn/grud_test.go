@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// decayTestInput builds an (N,T,2C) imputation-layout input with exact
+// 0/1 indicators and some missing runs.
+func decayTestInput(rng *rand.Rand, n, T, c int) *tensor.Tensor {
+	x := tensor.New(n, T, 2*c)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for t := 0; t < T; t++ {
+				if rng.Float64() < 0.6 {
+					x.Set(rng.NormFloat64(), b, t, ch)
+					x.Set(1, b, t, c+ch)
+				}
+			}
+		}
+	}
+	return x
+}
+
+func TestInputDecayForwardSemantics(t *testing.T) {
+	// One channel, hand-built: observed 2.0 at t0, missing t1..t2.
+	x := tensor.New(1, 3, 2)
+	x.Set(2.0, 0, 0, 0)
+	x.Set(1, 0, 0, 1) // observed at t0
+	d := NewInputDecay(1)
+	out := d.Forward(x, true)
+	rate := softplus(d.W.Value.At(0))
+	// t0 passes through.
+	if out.At(0, 0, 0) != 2.0 {
+		t.Fatalf("observed value must pass: %f", out.At(0, 0, 0))
+	}
+	// t1 decays one step, t2 two steps.
+	want1 := 2.0 * mathExp(-rate*1)
+	want2 := 2.0 * mathExp(-rate*2)
+	if !close(out.At(0, 1, 0), want1) || !close(out.At(0, 2, 0), want2) {
+		t.Fatalf("decay values: %f %f want %f %f", out.At(0, 1, 0), out.At(0, 2, 0), want1, want2)
+	}
+	// Monotone decay toward the mean (0).
+	if !(out.At(0, 1, 0) > out.At(0, 2, 0)) {
+		t.Fatal("decay must be monotone")
+	}
+}
+
+func TestInputDecayBeforeFirstObservation(t *testing.T) {
+	x := tensor.New(1, 3, 2)
+	// Nothing observed until t2.
+	x.Set(5, 0, 2, 0)
+	x.Set(1, 0, 2, 1)
+	d := NewInputDecay(1)
+	out := d.Forward(x, true)
+	if out.At(0, 0, 0) != 0 || out.At(0, 1, 0) != 0 {
+		t.Fatal("pre-observation values must stay at the mean (0)")
+	}
+	if out.At(0, 2, 0) != 5 {
+		t.Fatal("first observation must pass through")
+	}
+}
+
+func TestInputDecayGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	layer := NewInputDecay(2)
+	x := decayTestInput(rng, 2, 6, 2)
+	checkLayerGradients(t, layer, x, 1e-4)
+}
+
+func TestInputDecayPanicsOnOddWidth(t *testing.T) {
+	d := NewInputDecay(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Forward(tensor.New(1, 3, 3), true)
+}
+
+func TestGRUDImputerBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := GRUDImputer(rng, 12)
+	out := m.Forward(tensor.New(2, 5, 12), false)
+	if out.Dim(0) != 2 || out.Dim(1) != 5 || out.Dim(2) != 1 {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	// First layer must be the decay mechanism.
+	if _, ok := m.Layers[0].(*InputDecay); !ok {
+		t.Fatal("GRU-D must start with InputDecay")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd width")
+		}
+	}()
+	GRUDImputer(rng, 11)
+}
+
+func mathExp(v float64) float64 { return math.Exp(v) }
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xW + b for x of shape (N, in).
+type Dense struct {
+	W, B *Param
+	x    *tensor.Tensor // cached input
+}
+
+// NewDense creates a Dense layer with He-uniform initialization.
+func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
+	bound := math.Sqrt(6.0 / float64(in))
+	return &Dense{
+		W: NewParam(name+".W", tensor.RandUniform(rng, -bound, bound, in, out)),
+		B: &Param{Name: name + ".b", Value: tensor.New(out), Grad: tensor.New(out), NoDecay: true},
+	}
+}
+
+// Forward computes xW + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.x = x
+	y := tensor.MatMul(x, d.W.Value)
+	y.AddRowVector(d.B.Value)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dout, db = Σ dout and returns dout·Wᵀ.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	d.W.Grad.AddInPlace(tensor.TMatMul(d.x, dout))
+	d.B.Grad.AddInPlace(tensor.SumAxis0(dout))
+	return tensor.MatMulT(dout, d.W.Value)
+}
+
+// Params returns W and b.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward applies the rectifier and caches the activation mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	for i, v := range out.Data() {
+		if v <= 0 {
+			out.Data()[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the upstream gradient by the activation mask.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	din := dout.Clone()
+	for i := range din.Data() {
+		if !r.mask[i] {
+			din.Data()[i] = 0
+		}
+	}
+	return din
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// Forward computes σ(x), caching the output for the backward pass.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s.out = tensor.Apply(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.out
+}
+
+// Backward computes dout · σ(x)(1-σ(x)).
+func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	din := dout.Clone()
+	for i, o := range s.out.Data() {
+		din.Data()[i] *= o * (1 - o)
+	}
+	return din
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// Forward computes tanh(x).
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	t.out = tensor.Apply(x, math.Tanh)
+	return t.out
+}
+
+// Backward computes dout · (1 - tanh²(x)).
+func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	din := dout.Clone()
+	for i, o := range t.out.Data() {
+		din.Data()[i] *= 1 - o*o
+	}
+	return din
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Dropout zeroes a fraction Rate of activations during training and
+// rescales the survivors by 1/(1-Rate) (inverted dropout), matching the
+// Keras behaviour used by the paper's GRU model (dropout 0.2, §IV-B).
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with its own RNG stream.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %f out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward samples a fresh mask in training mode; identity in eval mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float64, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	out := x.Clone()
+	for i := range out.Data() {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			out.Data()[i] *= scale
+		} else {
+			d.mask[i] = 0
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward applies the cached mask (identity if eval-mode Forward ran).
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dout
+	}
+	din := dout.Clone()
+	for i := range din.Data() {
+		din.Data()[i] *= d.mask[i]
+	}
+	return din
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Flatten reshapes (N, ...) to (N, prod(...)).
+type Flatten struct {
+	inShape []int
+}
+
+// Forward flattens all trailing axes.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	n := x.Dim(0)
+	return x.Reshape(n, -1)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params concatenates all layers' parameters in order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient in the model.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,105 @@
+// Package nn is a pure-Go neural-network library with explicit
+// forward/backward layers, built on internal/tensor. It provides every
+// architecture the paper's case studies use: dense networks, ResNet-style
+// convolutional networks for the BigEarthNet land-cover and COVID-Net
+// chest-X-ray studies, and GRU recurrent networks for the ARDS time-series
+// study — plus the losses, optimizers, and learning-rate schedules
+// (including the warmup + linear-scaling rule required for large-batch
+// distributed training).
+//
+// Layers are stateful: Forward caches activations that Backward consumes,
+// so a model instance belongs to one goroutine. Distributed training
+// creates one model per rank and synchronizes parameters by broadcast
+// (exactly as Horovod does).
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is one trainable tensor with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// NoDecay exempts the parameter from weight decay (biases, norms).
+	NoDecay bool
+}
+
+// NewParam allocates a parameter with a zeroed gradient of the same shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumParams sums the element counts of a parameter list.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// FlattenValues copies all parameter values into one flat vector in list
+// order (used to broadcast initial weights across ranks).
+func FlattenValues(params []*Param) []float64 {
+	out := make([]float64, 0, NumParams(params))
+	for _, p := range params {
+		out = append(out, p.Value.Data()...)
+	}
+	return out
+}
+
+// UnflattenValues writes a flat vector (as produced by FlattenValues) back
+// into the parameter values.
+func UnflattenValues(params []*Param, flat []float64) {
+	if len(flat) != NumParams(params) {
+		panic(fmt.Sprintf("nn: UnflattenValues length %d, want %d", len(flat), NumParams(params)))
+	}
+	off := 0
+	for _, p := range params {
+		n := p.Value.Size()
+		copy(p.Value.Data(), flat[off:off+n])
+		off += n
+	}
+}
+
+// FlattenGrads copies all gradients into one flat vector in list order
+// (the payload of the distributed gradient allreduce).
+func FlattenGrads(params []*Param) []float64 {
+	out := make([]float64, 0, NumParams(params))
+	for _, p := range params {
+		out = append(out, p.Grad.Data()...)
+	}
+	return out
+}
+
+// UnflattenGrads writes a flat gradient vector back into the parameters.
+func UnflattenGrads(params []*Param, flat []float64) {
+	if len(flat) != NumParams(params) {
+		panic(fmt.Sprintf("nn: UnflattenGrads length %d, want %d", len(flat), NumParams(params)))
+	}
+	off := 0
+	for _, p := range params {
+		n := p.Grad.Size()
+		copy(p.Grad.Data(), flat[off:off+n])
+		off += n
+	}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output; train toggles training-only
+	// behaviour (dropout, batch-norm statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/dout and returns dL/din, accumulating parameter
+	// gradients. It must be called after Forward with the matching input.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}

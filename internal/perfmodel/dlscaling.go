@@ -1,0 +1,127 @@
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/msa"
+)
+
+// DLScaling models Horovod-style data-parallel training of one network on
+// p accelerators: per-step local compute (forward+backward over the local
+// batch) followed by a gradient allreduce of the model's parameters. It is
+// the projection tool for the paper's ResNet-50/BigEarthNet case study
+// (96 GPUs initially, 128 in the follow-up by Sedona et al., §III-A).
+type DLScaling struct {
+	// Params is the number of trainable parameters (gradient elements).
+	Params int
+	// FlopsPerSample is the forward-pass flop count per sample; backward
+	// is charged at 2× forward, the standard estimate.
+	FlopsPerSample float64
+	// SamplesPerEpoch is the training-set size.
+	SamplesPerEpoch int
+	// LocalBatch is the per-worker minibatch (weak scaling: global batch
+	// grows with workers, as in the paper's Horovod setup).
+	LocalBatch int
+	// GPU is the accelerator executing the local compute.
+	GPU msa.AcceleratorSpec
+	// Link joins the workers.
+	Link msa.Link
+	// Algo is the gradient allreduce algorithm.
+	Algo mpi.Algo
+	// GradBytes is bytes per gradient element on the wire (4 for fp32,
+	// 2 for fp16 compression).
+	GradBytes float64
+	// HostOverhead is per-step fixed time (data loading, Python/launch
+	// overhead) that does not shrink with workers.
+	HostOverhead float64
+	// Overlap is the fraction of allreduce time hidden behind the backward
+	// pass (Horovod issues layer-wise allreduces as gradients become
+	// ready, so most communication overlaps compute).
+	Overlap float64
+}
+
+// ResNet50BigEarthNet returns the case study's configuration: ResNet-50
+// (25.6 M parameters, ~3.9 GFlop forward at 120×120×10 multispectral
+// input) trained on BigEarthNet (~270k patches per epoch at the paper's
+// train split) with per-GPU batch 64 on A100s over InfiniBand HDR.
+func ResNet50BigEarthNet() DLScaling {
+	return DLScaling{
+		Params:          25_600_000,
+		FlopsPerSample:  3.9e9,
+		SamplesPerEpoch: 269_695,
+		LocalBatch:      64,
+		GPU:             msa.A100,
+		Link:            msa.InfinibandHDR,
+		Algo:            mpi.AlgoRing,
+		GradBytes:       4,
+		HostOverhead:    0.010,
+		Overlap:         0.8,
+	}
+}
+
+// StepsPerEpoch returns optimizer steps per epoch at p workers (weak
+// scaling shrinks it).
+func (m DLScaling) StepsPerEpoch(p int) int {
+	global := m.LocalBatch * p
+	return int(math.Ceil(float64(m.SamplesPerEpoch) / float64(global)))
+}
+
+// StepTime returns seconds per optimizer step at p workers.
+func (m DLScaling) StepTime(p int) float64 {
+	eff := Efficiency(ClassDLTraining, true)
+	peak := m.GPU.TensorTFlop
+	if peak == 0 {
+		peak = m.GPU.FP32TFlops
+	}
+	compute := 3 * m.FlopsPerSample * float64(m.LocalBatch) / (peak * 1e12 * eff)
+	comm := 0.0
+	if p > 1 {
+		alpha := m.Link.LatencyUS * 1e-6
+		beta := m.GradBytes / (m.Link.BWGBs * 1e9)
+		comm = mpi.CollectiveCostModel(m.Algo, p, m.Params, alpha, beta, gceFactor)
+		// Only the non-overlapped tail of the allreduce extends the step.
+		comm *= 1 - m.Overlap
+	}
+	return compute + comm + m.HostOverhead
+}
+
+// EpochTime returns seconds per epoch at p workers.
+func (m DLScaling) EpochTime(p int) float64 {
+	return float64(m.StepsPerEpoch(p)) * m.StepTime(p)
+}
+
+// Speedup returns EpochTime(1)/EpochTime(p).
+func (m DLScaling) Speedup(p int) float64 {
+	return m.EpochTime(1) / m.EpochTime(p)
+}
+
+// Efficiency returns parallel efficiency Speedup(p)/p.
+func (m DLScaling) ScalingEfficiency(p int) float64 {
+	return m.Speedup(p) / float64(p)
+}
+
+// ScalingPoint is one row of a scaling study table.
+type ScalingPoint struct {
+	Workers    int
+	EpochSec   float64
+	Speedup    float64
+	Efficiency float64
+	ImgPerSec  float64
+}
+
+// ScalingCurve evaluates the model at each worker count.
+func (m DLScaling) ScalingCurve(workers []int) []ScalingPoint {
+	out := make([]ScalingPoint, len(workers))
+	for i, p := range workers {
+		et := m.EpochTime(p)
+		out[i] = ScalingPoint{
+			Workers:    p,
+			EpochSec:   et,
+			Speedup:    m.Speedup(p),
+			Efficiency: m.ScalingEfficiency(p),
+			ImgPerSec:  float64(m.SamplesPerEpoch) / et,
+		}
+	}
+	return out
+}

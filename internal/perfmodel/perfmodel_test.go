@@ -1,0 +1,270 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/msa"
+)
+
+func dlWorkload() Workload {
+	return Workload{
+		Name: "train", Class: ClassDLTraining,
+		Flops: 1e15, Bytes: 1e12, ParallelFrac: 0.99,
+		CommElems: 1_000_000, Steps: 100, PrefersGPU: true, MemoryGB: 32,
+	}
+}
+
+func simWorkload() Workload {
+	return Workload{
+		Name: "cfd", Class: ClassSimulation,
+		Flops: 1e15, Bytes: 5e12, ParallelFrac: 0.999,
+		CommElems: 50_000, Steps: 1000, MemoryGB: 64,
+	}
+}
+
+func hpdaWorkload() Workload {
+	return Workload{
+		Name: "spark", Class: ClassHPDA,
+		Flops: 1e13, Bytes: 2e13, ParallelFrac: 0.9,
+		CommElems: 10_000, Steps: 10, MemoryGB: 300,
+	}
+}
+
+func TestNodeTimeGPUBeatsCPUForDL(t *testing.T) {
+	deep := msa.DEEP()
+	w := dlWorkload()
+	cpuNode := deep.Module(msa.ClusterModule).Groups[0].Node
+	gpuNode := deep.Module(msa.DataAnalytics).Groups[0].Node
+	tCPU := NodeTime(w, cpuNode)
+	tGPU := NodeTime(w, gpuNode)
+	if tGPU >= tCPU {
+		t.Fatalf("DL training should be faster on GPU node: cpu=%g gpu=%g", tCPU, tGPU)
+	}
+}
+
+func TestNodeTimeMemoryBoundWorkload(t *testing.T) {
+	// HPDA with huge byte traffic must be bandwidth-limited: doubling
+	// bytes must roughly double the time.
+	n := msa.DEEP().Module(msa.ClusterModule).Groups[0].Node
+	w := hpdaWorkload()
+	w.MemoryGB = 1 // avoid spill in this test
+	t1 := NodeTime(w, n)
+	w.Bytes *= 2
+	t2 := NodeTime(w, n)
+	if math.Abs(t2/t1-2) > 0.01 {
+		t.Fatalf("memory-bound scaling: %g -> %g", t1, t2)
+	}
+}
+
+func TestNodeTimeOutOfCorePenalty(t *testing.T) {
+	n := msa.DEEP().Module(msa.ClusterModule).Groups[0].Node // 192 GB
+	w := hpdaWorkload()
+	w.MemoryGB = 100
+	inCore := NodeTime(w, n)
+	w.MemoryGB = 400 // exceeds DRAM → spill penalty
+	outCore := NodeTime(w, n)
+	if outCore <= inCore {
+		t.Fatalf("out-of-core must be slower: %g vs %g", outCore, inCore)
+	}
+}
+
+func TestNodeTimeInfiniteWithoutEngine(t *testing.T) {
+	w := dlWorkload()
+	empty := msa.NodeSpec{} // no CPU cores, no GPU
+	if !math.IsInf(NodeTime(w, empty), 1) {
+		t.Fatal("no engine should mean infinite time")
+	}
+}
+
+func TestScaledTimeMonotonicUntilCommBound(t *testing.T) {
+	deep := msa.DEEP()
+	m := deep.Module(msa.BoosterModule)
+	w := simWorkload()
+	spec := m.Groups[0].Node
+	t1 := ScaledTime(w, spec, m.Interconnect, 1, mpi.AlgoRing)
+	t8 := ScaledTime(w, spec, m.Interconnect, 8, mpi.AlgoRing)
+	t64 := ScaledTime(w, spec, m.Interconnect, 64, mpi.AlgoRing)
+	if !(t8 < t1 && t64 < t8) {
+		t.Fatalf("scaling should help here: %g %g %g", t1, t8, t64)
+	}
+}
+
+func TestScaledTimePanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScaledTime(simWorkload(), msa.NodeSpec{}, msa.Extoll, 0, mpi.AlgoRing)
+}
+
+func TestEvaluatePanicsOnOversizedPlacement(t *testing.T) {
+	deep := msa.DEEP()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate(simWorkload(), Placement{Module: deep.Module(msa.DataAnalytics), Nodes: 1000})
+}
+
+func TestBestModuleAssignsDLToGPUModule(t *testing.T) {
+	deep := msa.DEEP()
+	best, all := BestModule(dlWorkload(), deep, 16)
+	if best == nil {
+		t.Fatal("no best module")
+	}
+	if best.GPUs() == 0 {
+		t.Fatalf("DL training assigned to GPU-less module %s (%v)", best.Name, all)
+	}
+	if len(all) != 3 { // CM, ESB, DAM (storage/NAM/QM excluded)
+		t.Fatalf("expected 3 compute modules evaluated, got %d", len(all))
+	}
+}
+
+func TestBestModuleAssignsSimulationToCPUModule(t *testing.T) {
+	deep := msa.DEEP()
+	w := simWorkload()
+	best, _ := BestModule(w, deep, 16)
+	// Simulation has low GPU efficiency; CM or ESB should win over DAM.
+	if best.Kind == msa.DataAnalytics {
+		t.Fatalf("simulation should not prefer the DAM")
+	}
+}
+
+// TestMSABeatsMonolithic is the core of experiment E13: a two-phase app
+// (data-heavy prep + scalable GPU training) must run faster on the MSA
+// split than entirely on either module.
+func TestMSABeatsMonolithic(t *testing.T) {
+	deep := msa.DEEP()
+	cm := deep.Module(msa.ClusterModule)
+	esb := deep.Module(msa.BoosterModule)
+	app := TwoPhaseApp{
+		PhaseA: Workload{Name: "prep", Class: ClassLowScale,
+			Flops: 5e13, Bytes: 2e13, ParallelFrac: 0.80, MemoryGB: 100},
+		PhaseB: Workload{Name: "train", Class: ClassDLTraining,
+			Flops: 5e15, Bytes: 1e12, ParallelFrac: 0.995,
+			CommElems: 25_600_000, Steps: 500, PrefersGPU: true, MemoryGB: 30},
+		DataGB: 50,
+	}
+	onCM := app.MonolithicTime(cm, 8, 32)
+	onESB := app.MonolithicTime(esb, 8, 32)
+	split := app.ModularTime(cm, esb, deep.Federation, 8, 32)
+	if !(split.Seconds < onCM.Seconds && split.Seconds < onESB.Seconds) {
+		t.Fatalf("MSA split should win: split=%g cm=%g esb=%g", split.Seconds, onCM.Seconds, onESB.Seconds)
+	}
+	if split.Joules >= onCM.Joules {
+		t.Fatalf("MSA split should also save energy vs CPU-only: %g vs %g", split.Joules, onCM.Joules)
+	}
+}
+
+func TestEfficiencyTableSane(t *testing.T) {
+	for _, c := range []Class{ClassSimulation, ClassHPDA, ClassDLTraining, ClassDLInference, ClassLowScale, ClassHighScale} {
+		for _, gpu := range []bool{false, true} {
+			e := Efficiency(c, gpu)
+			if e <= 0 || e > 1 {
+				t.Fatalf("efficiency out of range for %s gpu=%v: %f", c, gpu, e)
+			}
+		}
+	}
+	if Efficiency(Class("unknown"), false) <= 0 {
+		t.Fatal("unknown class needs a fallback efficiency")
+	}
+	// Efficiencies are relative to different peaks, so the meaningful check
+	// is delivered throughput: one A100 (including host overhead) should
+	// sustain on the order of 1000–3000 ResNet-50 images/s.
+	m := ResNet50BigEarthNet()
+	imgPerSec := float64(m.LocalBatch) / m.StepTime(1)
+	if imgPerSec < 1000 || imgPerSec > 3000 {
+		t.Fatalf("calibration off: %f img/s on one A100", imgPerSec)
+	}
+}
+
+// --- DL scaling model (E3/E5) ---
+
+func TestResNetScalingShape(t *testing.T) {
+	m := ResNet50BigEarthNet()
+	curve := m.ScalingCurve([]int{1, 2, 4, 8, 16, 32, 64, 96, 128})
+	// Speed-up must be monotonically increasing over this range (the paper
+	// reports further gains from 96 to 128 GPUs).
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Speedup <= curve[i-1].Speedup {
+			t.Fatalf("speedup not increasing at p=%d: %v", curve[i].Workers, curve)
+		}
+	}
+	// Near-linear at small scale...
+	if curve[3].Efficiency < 0.85 { // p=8
+		t.Fatalf("efficiency at 8 workers too low: %f", curve[3].Efficiency)
+	}
+	// ...and still respectable at 128 (the paper's headline: significant
+	// speed-up at 96-128 GPUs).
+	s128 := curve[len(curve)-1]
+	if s128.Speedup < 60 {
+		t.Fatalf("speedup at 128 too low: %f", s128.Speedup)
+	}
+	if s128.Efficiency > 1.0001 {
+		t.Fatalf("superlinear speedup is a model bug: %f", s128.Efficiency)
+	}
+}
+
+func TestStepsPerEpochWeakScaling(t *testing.T) {
+	m := ResNet50BigEarthNet()
+	if m.StepsPerEpoch(2)*2 < m.StepsPerEpoch(1) {
+		t.Fatal("steps per epoch should halve (ceil) when workers double")
+	}
+	if m.StepsPerEpoch(128) < 1 {
+		t.Fatal("steps must stay >= 1")
+	}
+}
+
+func TestFp16CompressionHelpsAtScale(t *testing.T) {
+	m := ResNet50BigEarthNet()
+	m16 := m
+	m16.GradBytes = 2
+	if m16.EpochTime(128) >= m.EpochTime(128) {
+		t.Fatal("fp16 gradients must reduce epoch time at 128 workers")
+	}
+}
+
+func TestGCEAlgoHelpsSmallMessages(t *testing.T) {
+	m := ResNet50BigEarthNet()
+	m.Link = msa.Extoll
+	ring := m
+	ring.Algo = mpi.AlgoRing
+	gce := m
+	gce.Algo = mpi.AlgoGCE
+	// With the GCE hardware offload the per-step collective is cheaper.
+	if gce.StepTime(64) >= ring.StepTime(64) {
+		t.Fatalf("GCE should beat ring here: %g vs %g", gce.StepTime(64), ring.StepTime(64))
+	}
+}
+
+// Property: epoch time is positive and speedup never exceeds worker count
+// (no superlinearity in the model).
+func TestScalingModelProperty(t *testing.T) {
+	m := ResNet50BigEarthNet()
+	f := func(pRaw uint8) bool {
+		p := 1 + int(pRaw)%256
+		et := m.EpochTime(p)
+		if !(et > 0) || math.IsInf(et, 0) || math.IsNaN(et) {
+			return false
+		}
+		return m.Speedup(p) <= float64(p)*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateEnergyConsistent(t *testing.T) {
+	deep := msa.DEEP()
+	m := deep.Module(msa.DataAnalytics)
+	r := Evaluate(dlWorkload(), Placement{Module: m, Nodes: 4})
+	wantPower := m.Groups[0].Node.PowerW() * 4
+	if math.Abs(r.Joules-wantPower*r.Seconds) > 1e-6*r.Joules {
+		t.Fatalf("energy = power × time violated: %g vs %g", r.Joules, wantPower*r.Seconds)
+	}
+}

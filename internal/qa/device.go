@@ -1,0 +1,59 @@
+package qa
+
+import "fmt"
+
+// Device profiles the annealer generations the paper reports using:
+// first a 2000-qubit D-Wave 2000Q, later the Advantage system with 5000
+// qubits and 35000 couplers (§III-C).
+type Device struct {
+	Name     string
+	Qubits   int
+	Couplers int
+}
+
+// The two device generations of the case study.
+var (
+	DWave2000Q = Device{Name: "D-Wave 2000Q", Qubits: 2000, Couplers: 6016}
+	Advantage  = Device{Name: "D-Wave Advantage", Qubits: 5000, Couplers: 35000}
+)
+
+// Check verifies a QUBO fits the device; the error explains which resource
+// is exceeded (this is what forces sub-sampling and ensembles in the RS
+// case study).
+func (d Device) Check(q *QUBO) error {
+	if q.N > d.Qubits {
+		return fmt.Errorf("qa: problem needs %d qubits but %s has %d", q.N, d.Name, d.Qubits)
+	}
+	if c := q.Couplers(); c > d.Couplers {
+		return fmt.Errorf("qa: problem needs %d couplers but %s has %d", c, d.Name, d.Couplers)
+	}
+	return nil
+}
+
+// Submit checks the problem against the device and anneals it, modelling
+// the D-Wave Leap workflow of §III-C.
+func (d Device) Submit(q *QUBO, cfg AnnealConfig) ([]Sample, error) {
+	if err := d.Check(q); err != nil {
+		return nil, err
+	}
+	return q.Anneal(cfg), nil
+}
+
+// MaxTrainSamples returns the largest SVM training-set size the device
+// can embed with the given encoding bits per coefficient: each training
+// sample consumes `bits` qubits, and the dual QUBO is fully connected so
+// couplers bind first on sparse-connectivity hardware.
+func (d Device) MaxTrainSamples(bits int) int {
+	byQubits := d.Qubits / bits
+	// Fully connected QUBO over n·bits variables needs C(n·bits, 2)
+	// couplers; solve for the largest n that fits.
+	n := byQubits
+	for n > 1 {
+		v := n * bits
+		if v*(v-1)/2 <= d.Couplers {
+			break
+		}
+		n--
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package qa_test
+
+import (
+	"fmt"
+
+	"repro/internal/qa"
+)
+
+// ExampleQUBO_Anneal solves max-cut on a 4-cycle with the simulated
+// annealer.
+func ExampleQUBO_Anneal() {
+	q := qa.NewQUBO(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		q.AddLinear(e[0], -1)
+		q.AddLinear(e[1], -1)
+		q.AddCoupling(e[0], e[1], 2)
+	}
+	best := q.Anneal(qa.AnnealConfig{Reads: 10, Sweeps: 100, Seed: 3})[0]
+	fmt.Printf("cut energy: %.0f\n", best.Energy)
+	// Output: cut energy: -4
+}
+
+// ExampleDevice_Check shows the device limits that force the paper's
+// sub-sampling workflow.
+func ExampleDevice_Check() {
+	big := qa.NewQUBO(2001)
+	fmt.Println(qa.DWave2000Q.Check(big))
+	fmt.Println(qa.Advantage.Check(big))
+	// Output:
+	// qa: problem needs 2001 qubits but D-Wave 2000Q has 2000
+	// <nil>
+}

@@ -1,0 +1,88 @@
+package storage
+
+import "fmt"
+
+// Checkpoint/restart modelling. The NAM prototype's original purpose was
+// "accelerating checkpoint/restart application performance in large-scale
+// systems with network attached memory" (Schmidt, paper ref [12]): an
+// application periodically flushes its state; writing it to the parallel
+// filesystem contends for OST bandwidth, while the NAM absorbs the burst
+// at memory speed and drains to the SSSM asynchronously.
+
+// CheckpointPlan describes one application's checkpointing behaviour.
+type CheckpointPlan struct {
+	Nodes        int     // nodes writing concurrently
+	StateGBNode  float64 // checkpoint size per node
+	IntervalSec  float64 // compute time between checkpoints
+	Checkpoints  int     // how many checkpoints the run takes
+	StripePerJob int     // stripe width for SSSM writes
+}
+
+// Validate checks the plan's parameters.
+func (p CheckpointPlan) Validate() error {
+	if p.Nodes < 1 || p.StateGBNode <= 0 || p.IntervalSec <= 0 || p.Checkpoints < 1 {
+		return fmt.Errorf("storage: invalid checkpoint plan %+v", p)
+	}
+	return nil
+}
+
+// TotalGB returns the volume of one full checkpoint.
+func (p CheckpointPlan) TotalGB() float64 {
+	return float64(p.Nodes) * p.StateGBNode
+}
+
+// SSSMCheckpointTime returns seconds one checkpoint stall takes when all
+// nodes write straight to the parallel filesystem: each node is one
+// contending stream.
+func (p CheckpointPlan) SSSMCheckpointTime(fs *SSSM) float64 {
+	return fs.ReadTime(p.StateGBNode, p.StripePerJob, p.Nodes)
+}
+
+// NAMCheckpointTime returns seconds one checkpoint stall takes when nodes
+// write to the NAM: the application only blocks for the memory-speed
+// write (the NAM drains to the SSSM in the background).
+func (p CheckpointPlan) NAMCheckpointTime(nam *NAM) float64 {
+	// All nodes share the NAM's bandwidth for the burst.
+	perNodeBW := nam.Spec.BWGBs / float64(p.Nodes)
+	return p.StateGBNode/perNodeBW + nam.Spec.LatencyUS*1e-6
+}
+
+// RunOverhead summarizes a full run's checkpoint cost for one target.
+type RunOverhead struct {
+	Target        string
+	StallPerCkpt  float64
+	TotalStall    float64
+	RunTime       float64 // compute + stalls
+	OverheadRatio float64 // stalls / compute
+}
+
+// CompareCheckpointTargets evaluates the plan against the SSSM directly
+// and through the NAM, returning both summaries. NAM capacity must hold
+// one full checkpoint (double-buffered drains are assumed); an error is
+// returned otherwise — the sizing constraint ref [12] discusses.
+func CompareCheckpointTargets(p CheckpointPlan, fs *SSSM, nam *NAM) (sssm, viaNAM RunOverhead, err error) {
+	if err := p.Validate(); err != nil {
+		return RunOverhead{}, RunOverhead{}, err
+	}
+	if p.TotalGB() > nam.Spec.CapacityGB {
+		return RunOverhead{}, RunOverhead{}, fmt.Errorf(
+			"storage: checkpoint of %.0f GB exceeds NAM capacity %.0f GB", p.TotalGB(), nam.Spec.CapacityGB)
+	}
+	compute := p.IntervalSec * float64(p.Checkpoints)
+	mk := func(target string, stall float64) RunOverhead {
+		total := stall * float64(p.Checkpoints)
+		return RunOverhead{
+			Target: target, StallPerCkpt: stall, TotalStall: total,
+			RunTime: compute + total, OverheadRatio: total / compute,
+		}
+	}
+	// Background drain feasibility: the NAM must empty one checkpoint into
+	// the SSSM within the compute interval, or the next burst blocks.
+	drain := fs.ReadTime(p.TotalGB(), p.StripePerJob, 1)
+	namStall := p.NAMCheckpointTime(nam)
+	if drain > p.IntervalSec {
+		// Drain-limited: the application absorbs the leftover.
+		namStall += drain - p.IntervalSec
+	}
+	return mk("sssm-direct", p.SSSMCheckpointTime(fs)), mk("via-nam", namStall), nil
+}

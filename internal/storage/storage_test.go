@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msa"
+)
+
+func testFS() *SSSM {
+	return NewSSSM(msa.StorageSpec{Filesystem: "Lustre", OSTs: 8, OSTBWGBs: 2.5, CapacityPB: 1})
+}
+
+func testNAM() *NAM {
+	return NewNAM(msa.NAMSpec{CapacityGB: 100, BWGBs: 50, LatencyUS: 3})
+}
+
+func TestAggregateBW(t *testing.T) {
+	if testFS().AggregateBW() != 20 {
+		t.Fatalf("aggregate: %f", testFS().AggregateBW())
+	}
+}
+
+func TestStreamBWStripeLimited(t *testing.T) {
+	fs := testFS()
+	// One reader, stripe 2: limited to 5 GB/s even though 20 available.
+	if bw := fs.StreamBW(2, 1); bw != 5 {
+		t.Fatalf("stripe-limited: %f", bw)
+	}
+	// Full stripe single reader gets everything.
+	if bw := fs.StreamBW(8, 1); bw != 20 {
+		t.Fatalf("full stripe: %f", bw)
+	}
+}
+
+func TestStreamBWContention(t *testing.T) {
+	fs := testFS()
+	// 8 readers at full stripe share the aggregate.
+	if bw := fs.StreamBW(8, 8); bw != 2.5 {
+		t.Fatalf("contended: %f", bw)
+	}
+	// Many narrow readers: stripe limit stops mattering once share < stripe BW.
+	if bw := fs.StreamBW(2, 10); bw != 2 {
+		t.Fatalf("narrow contended: %f", bw)
+	}
+}
+
+func TestStreamBWClamps(t *testing.T) {
+	fs := testFS()
+	if fs.StreamBW(0, 0) != fs.StreamBW(1, 1) {
+		t.Fatal("zero stripe/readers must clamp to 1")
+	}
+	if fs.StreamBW(100, 1) != 20 {
+		t.Fatal("stripe beyond OST count must clamp")
+	}
+}
+
+func TestReadTime(t *testing.T) {
+	fs := testFS()
+	if rt := fs.ReadTime(100, 8, 1); rt != 5 {
+		t.Fatalf("read time: %f", rt)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative size")
+		}
+	}()
+	fs.ReadTime(-1, 1, 1)
+}
+
+func TestMoreStripesFasterSingleStream(t *testing.T) {
+	fs := testFS()
+	prev := math.Inf(1)
+	for stripe := 1; stripe <= 8; stripe++ {
+		rt := fs.ReadTime(100, stripe, 1)
+		if rt > prev {
+			t.Fatalf("wider stripe slower at %d: %f > %f", stripe, rt, prev)
+		}
+		prev = rt
+	}
+}
+
+func TestNAMHitMissAccounting(t *testing.T) {
+	fs := testFS()
+	nam := testNAM()
+	t1 := nam.Access("bigearthnet", 50, fs, 8)
+	if nam.Misses != 1 || nam.Hits != 0 || !nam.Contains("bigearthnet") {
+		t.Fatalf("first access must miss: %+v", nam)
+	}
+	t2 := nam.Access("bigearthnet", 50, fs, 8)
+	if nam.Hits != 1 {
+		t.Fatal("second access must hit")
+	}
+	if t2 >= t1 {
+		t.Fatalf("hit (%f) must be faster than miss (%f)", t2, t1)
+	}
+	if nam.StagedGB != 50 || nam.ServedGB != 100 {
+		t.Fatalf("traffic accounting: staged=%f served=%f", nam.StagedGB, nam.ServedGB)
+	}
+}
+
+func TestNAMLRUEviction(t *testing.T) {
+	fs := testFS()
+	nam := testNAM() // 100 GB capacity
+	nam.Access("a", 40, fs, 8)
+	nam.Access("b", 40, fs, 8)
+	nam.Access("a", 40, fs, 8) // touch a: b becomes LRU
+	nam.Access("c", 40, fs, 8) // evicts b
+	if !nam.Contains("a") || !nam.Contains("c") || nam.Contains("b") {
+		t.Fatalf("LRU eviction wrong: a=%v b=%v c=%v", nam.Contains("a"), nam.Contains("b"), nam.Contains("c"))
+	}
+	if nam.UsedGB() != 80 {
+		t.Fatalf("used: %f", nam.UsedGB())
+	}
+}
+
+func TestNAMOversizedDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testNAM().Access("huge", 1000, testFS(), 8)
+}
+
+// TestNAMBeatsDuplicateDownloads is experiment E12's second half: for a
+// research group of k members, shared NAM access must move k× less data
+// out of the SSSM and (for meaningful k) finish sooner.
+func TestNAMBeatsDuplicateDownloads(t *testing.T) {
+	fs := testFS()
+	for _, k := range []int{4, 8, 16} {
+		nam := testNAM()
+		dupTime, dupBytes := DuplicateDownloadTime(k, 50, fs, 4)
+		namTime, namBytes := SharedNAMTime(k, 50, fs, nam, 4)
+		if namBytes*float64(k) != dupBytes {
+			t.Fatalf("k=%d: NAM must move 1/k the data: %f vs %f", k, namBytes, dupBytes)
+		}
+		if k >= 8 && namTime >= dupTime {
+			t.Fatalf("k=%d: NAM (%f s) should beat duplicates (%f s)", k, namTime, dupTime)
+		}
+	}
+}
+
+func TestWorkflowPanicsOnZeroMembers(t *testing.T) {
+	for _, f := range []func(){
+		func() { DuplicateDownloadTime(0, 1, testFS(), 1) },
+		func() { SharedNAMTime(0, 1, testFS(), testNAM(), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSSSM(msa.StorageSpec{}) },
+		func() { NewNAM(msa.NAMSpec{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: stream bandwidth never exceeds either the stripe limit or the
+// aggregate, and is always positive.
+func TestStreamBWBoundsProperty(t *testing.T) {
+	fs := testFS()
+	f := func(stripeRaw, readersRaw uint8) bool {
+		stripe := 1 + int(stripeRaw)%16
+		readers := 1 + int(readersRaw)%64
+		bw := fs.StreamBW(stripe, readers)
+		if bw <= 0 {
+			return false
+		}
+		eff := stripe
+		if eff > fs.Spec.OSTs {
+			eff = fs.Spec.OSTs
+		}
+		return bw <= float64(eff)*fs.Spec.OSTBWGBs+1e-9 && bw <= fs.AggregateBW()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointPlanValidate(t *testing.T) {
+	good := CheckpointPlan{Nodes: 8, StateGBNode: 4, IntervalSec: 600, Checkpoints: 10, StripePerJob: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []CheckpointPlan{
+		{Nodes: 0, StateGBNode: 4, IntervalSec: 600, Checkpoints: 10},
+		{Nodes: 8, StateGBNode: 0, IntervalSec: 600, Checkpoints: 10},
+		{Nodes: 8, StateGBNode: 4, IntervalSec: 0, Checkpoints: 10},
+		{Nodes: 8, StateGBNode: 4, IntervalSec: 600, Checkpoints: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+	if good.TotalGB() != 32 {
+		t.Fatalf("total: %f", good.TotalGB())
+	}
+}
+
+// TestNAMCheckpointBeatsDirect reproduces the ref [12] claim: NAM-buffered
+// checkpoints stall the application less than direct parallel-filesystem
+// writes.
+func TestNAMCheckpointBeatsDirect(t *testing.T) {
+	fs := testFS()   // 20 GB/s aggregate
+	nam := testNAM() // 50 GB/s memory
+	plan := CheckpointPlan{Nodes: 16, StateGBNode: 4, IntervalSec: 600, Checkpoints: 10, StripePerJob: 4}
+	direct, via, err := CompareCheckpointTargets(plan, fs, nam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.StallPerCkpt >= direct.StallPerCkpt {
+		t.Fatalf("NAM stall %f should beat direct %f", via.StallPerCkpt, direct.StallPerCkpt)
+	}
+	if via.RunTime >= direct.RunTime || via.OverheadRatio >= direct.OverheadRatio {
+		t.Fatalf("NAM run summary should win: %+v vs %+v", via, direct)
+	}
+}
+
+func TestNAMCheckpointDrainLimited(t *testing.T) {
+	fs := testFS()
+	nam := testNAM()
+	// Checkpoints arrive faster than the SSSM can drain: the surplus
+	// stalls the application.
+	fast := CheckpointPlan{Nodes: 16, StateGBNode: 4, IntervalSec: 1, Checkpoints: 3, StripePerJob: 4}
+	_, via, err := CompareCheckpointTargets(fast, fs, nam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := fast
+	slow.IntervalSec = 600
+	_, viaSlow, err := CompareCheckpointTargets(slow, fs, nam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.StallPerCkpt <= viaSlow.StallPerCkpt {
+		t.Fatalf("drain-limited plan must stall more: %f vs %f", via.StallPerCkpt, viaSlow.StallPerCkpt)
+	}
+}
+
+func TestCheckpointRejectsOversizedState(t *testing.T) {
+	plan := CheckpointPlan{Nodes: 100, StateGBNode: 10, IntervalSec: 60, Checkpoints: 2, StripePerJob: 4}
+	if _, _, err := CompareCheckpointTargets(plan, testFS(), testNAM()); err == nil {
+		t.Fatal("1000 GB checkpoint must exceed the 100 GB NAM")
+	}
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import "fmt"
+
+// ConvDims computes output spatial size for a convolution/pooling window.
+func ConvDims(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers an image batch of shape (N, C, H, W) to a matrix of shape
+// (N*OH*OW, C*KH*KW) so that convolution becomes a single MatMul against a
+// (C*KH*KW, OutC) filter matrix. Out-of-bounds (padding) samples are zero.
+func Im2Col(img *Tensor, kh, kw, stride, padH, padW int) *Tensor {
+	if len(img.shape) != 4 {
+		panic("tensor: Im2Col requires (N,C,H,W)")
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	oh := ConvDims(h, kh, stride, padH)
+	ow := ConvDims(w, kw, stride, padW)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col degenerate output %dx%d", oh, ow))
+	}
+	cols := New(n*oh*ow, c*kh*kw)
+	colRow := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - padH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - padW
+				dst := cols.data[colRow*c*kh*kw : (colRow+1)*c*kh*kw]
+				di := 0
+				for ch := 0; ch < c; ch++ {
+					base := ((b*c + ch) * h) * w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							di += kw
+							continue
+						}
+						rowBase := base + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								dst[di] = img.data[rowBase+ix]
+							}
+							di++
+						}
+					}
+				}
+				colRow++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a column matrix (as produced by Im2Col) back into an
+// image batch of shape (N, C, H, W), accumulating overlapping windows.
+// It is the adjoint of Im2Col and is used in the convolution backward pass.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, padH, padW int) *Tensor {
+	oh := ConvDims(h, kh, stride, padH)
+	ow := ConvDims(w, kw, stride, padW)
+	if cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d,%d) k=%dx%d", cols.shape, n, c, h, w, kh, kw))
+	}
+	img := New(n, c, h, w)
+	colRow := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - padH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - padW
+				src := cols.data[colRow*c*kh*kw : (colRow+1)*c*kh*kw]
+				si := 0
+				for ch := 0; ch < c; ch++ {
+					base := ((b*c + ch) * h) * w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							si += kw
+							continue
+						}
+						rowBase := base + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								img.data[rowBase+ix] += src[si]
+							}
+							si++
+						}
+					}
+				}
+				colRow++
+			}
+		}
+	}
+	return img
+}
+
+// MaxPool2D applies 2-D max pooling to (N,C,H,W) and returns the pooled
+// tensor plus the flat argmax indices (into the input) used by the
+// backward pass.
+func MaxPool2D(img *Tensor, k, stride int) (*Tensor, []int) {
+	if len(img.shape) != 4 {
+		panic("tensor: MaxPool2D requires (N,C,H,W)")
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	oh := ConvDims(h, k, stride, 0)
+	ow := ConvDims(w, k, stride, 0)
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Size())
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best, bi := -1e308, -1
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride + ky
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride + kx
+							idx := base + iy*w + ix
+							if v := img.data[idx]; v > best {
+								best, bi = v, idx
+							}
+						}
+					}
+					out.data[oi] = best
+					arg[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward scatters upstream gradients through the argmax map
+// produced by MaxPool2D, returning a gradient of inShape.
+func MaxPool2DBackward(dout *Tensor, arg []int, inShape []int) *Tensor {
+	din := New(inShape...)
+	for i, g := range dout.data {
+		din.data[arg[i]] += g
+	}
+	return din
+}
+
+// GlobalAvgPool reduces (N,C,H,W) to (N,C) by averaging each feature map.
+func GlobalAvgPool(img *Tensor) *Tensor {
+	if len(img.shape) != 4 {
+		panic("tensor: GlobalAvgPool requires (N,C,H,W)")
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	out := New(n, c)
+	area := float64(h * w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			s := 0.0
+			for i := 0; i < h*w; i++ {
+				s += img.data[base+i]
+			}
+			out.data[b*c+ch] = s / area
+		}
+	}
+	return out
+}
+
+// GlobalAvgPoolBackward broadcasts (N,C) gradients back to (N,C,H,W).
+func GlobalAvgPoolBackward(dout *Tensor, h, w int) *Tensor {
+	n, c := dout.shape[0], dout.shape[1]
+	din := New(n, c, h, w)
+	inv := 1 / float64(h*w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			g := dout.data[b*c+ch] * inv
+			base := ((b*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				din.data[base+i] = g
+			}
+		}
+	}
+	return din
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of result elements below
+// which MatMul stays single-threaded; spawning goroutines for tiny products
+// costs more than it saves.
+const matmulParallelThreshold = 64 * 64
+
+// MatMul returns a×b for 2-D tensors of shapes (M,K) and (K,N). The kernel
+// is a cache-blocked ikj loop parallelized over row bands.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a×b, reusing out's storage. out must have
+// shape (M,N) and is overwritten.
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: MatMulInto output shape mismatch")
+	}
+	out.Zero()
+	workers := runtime.GOMAXPROCS(0)
+	if m*n < matmulParallelThreshold || workers <= 1 {
+		matmulRange(out.data, a.data, b.data, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRange(out.data, a.data, b.data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRange computes rows [lo,hi) of out += a×b using an ikj ordering,
+// which streams through b row-by-row and keeps the innermost loop a
+// contiguous saxpy the compiler vectorizes well.
+func matmulRange(out, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		orow := out[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulT returns a×bᵀ for shapes (M,K) and (N,K): a common pattern in
+// backprop, computed without materializing the transpose.
+func MatMulT(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulT requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if m*n < matmulParallelThreshold || workers <= 1 {
+		body(0, m)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*band, (w+1)*band
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) { defer wg.Done(); body(lo, hi) }(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// TMatMul returns aᵀ×b for shapes (K,M) and (K,N) without materializing
+// the transpose; used for weight gradients (xᵀ·dy).
+func TMatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: TMatMul requires 2-D tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a×x for a (M,K) matrix and length-K vector, as shape (M).
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: MatVec requires a 2-D matrix")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.Size() != k {
+		panic("tensor: MatVec vector length mismatch")
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}
