@@ -7,8 +7,11 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/qa"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/storage"
 	"repro/internal/svm"
 	"repro/internal/tensor"
@@ -359,6 +363,73 @@ func BenchmarkKMeansMapReduce(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mapreduce.KMeans(eng, rows, 3, 10, int64(i))
+	}
+}
+
+// benchServeBackend is a serve.Backend that echoes its input as scores
+// after a fixed per-batch service time — the overhead-dominated regime
+// where dynamic batching pays off.
+type benchServeBackend struct{ delay time.Duration }
+
+func (e *benchServeBackend) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	out := tensor.New(x.Dim(0), x.Dim(1))
+	copy(out.Data(), x.Data())
+	return out, nil
+}
+
+// BenchmarkServeThroughput pushes concurrent requests through the online
+// serving tier at several max-batch settings; the ns/op spread is the
+// dynamic-batching amortization of the per-batch service time.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, batch := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			backends := []serve.Backend{
+				&benchServeBackend{delay: 50 * time.Microsecond},
+				&benchServeBackend{delay: 50 * time.Microsecond},
+			}
+			s := serve.New(backends, serve.Config{
+				MaxBatch:        batch,
+				BatchWindow:     200 * time.Microsecond,
+				QueueCap:        256,
+				DefaultDeadline: time.Minute,
+			})
+			defer s.Close()
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				x := tensor.New(4)
+				x.Set(1, 0)
+				for pb.Next() {
+					if _, err := s.Predict(context.Background(), x); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeLatency measures single-client end-to-end request latency
+// (enqueue → batcher → real model forward → response routing) with
+// batching disabled, i.e. the serving tier's per-request floor.
+func BenchmarkServeLatency(b *testing.B) {
+	rng := rand.New(rand.NewSource(26))
+	model := nn.MLP(rng, 8, 4)
+	s := serve.New(
+		[]serve.Backend{serve.NewModelBackend(model, nn.ActSoftmax)},
+		serve.Config{MaxBatch: 1, QueueCap: 16, DefaultDeadline: time.Minute},
+	)
+	defer s.Close()
+	x := tensor.Randn(rng, 1, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Predict(context.Background(), x); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+// Serving: deploy a trained model as an online inference tier — the
+// §II-A "scale-out inference on the ESB" story in miniature. A model is
+// trained and checkpointed (the CM side of the hand-off), restored into a
+// replica pool sized from the ESB's hardware spec, and served with
+// dynamic micro-batching and admission control while concurrent clients
+// fire single-sample requests at it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/distdl"
+	"repro/internal/msa"
+	"repro/internal/nn"
+	"repro/internal/perfmodel"
+	"repro/internal/serve"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// 1. Train a small multi-label CNN and checkpoint it — in the paper's
+	//    deployment this happens on the Cluster Module.
+	ds := data.GenMultispectral(data.MultispectralConfig{Samples: 32, Seed: 1, Size: 8})
+	bands := ds.X.Dim(1)
+	model := nn.ResNetMini(rand.New(rand.NewSource(1)), bands, ds.Classes, 4, 1)
+	model.Forward(ds.X, true) // one train-mode pass so batch-norm state is real
+
+	dir, err := os.MkdirTemp("", "serving-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := storage.NewModelStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Save("cnn", model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpointed %q to the model store (CM side of the hand-off)\n", "cnn")
+
+	// 2. Derive a serving plan from the ESB's hardware spec: replica count
+	//    and per-batch cost come from the module description, not guesses.
+	esb := msa.DEEP().Module(msa.BoosterModule)
+	w := perfmodel.InferenceWorkload("cnn-fwd", 3.9e9, 5e7)
+	plan := serve.DerivePlan(w, esb, 4)
+	fmt.Printf("plan: %s\n", plan)
+
+	// 3. Restore the checkpoint into one model per replica and start the
+	//    server: dynamic batching (up to 8 samples / 2ms window), bounded
+	//    admission queue, per-request deadlines.
+	blob, err := store.Blob("cnn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	replicas, err := serve.NewReplicaModels(func() *nn.Sequential {
+		return nn.ResNetMini(rand.New(rand.NewSource(99)), bands, ds.Classes, 4, 1)
+	}, blob, plan.Replicas, nn.ActSigmoid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(replicas, serve.Config{
+		MaxBatch:        8,
+		BatchWindow:     2 * time.Millisecond,
+		QueueCap:        64,
+		DefaultDeadline: time.Second,
+	})
+
+	// 4. Closed-loop load: 16 clients, each firing its next request the
+	//    moment the previous one resolves.
+	rep := serve.RunClosedLoop(srv, serve.LoadConfig{Clients: 16, RequestsPerClient: 25},
+		func(c, i int) *tensor.Tensor {
+			row := (c + i) % ds.X.Dim(0)
+			shape := ds.X.Shape()
+			n := ds.X.Size() / shape[0]
+			x := tensor.New(shape[1:]...)
+			copy(x.Data(), ds.X.Data()[row*n:(row+1)*n])
+			return x
+		})
+	snap := srv.Snapshot()
+	srv.Close()
+
+	fmt.Printf("\nload: %d requests, %d ok, %d shed — %.0f req/s\n",
+		rep.Sent, rep.OK, rep.Shed, rep.Throughput)
+	fmt.Print(snap)
+
+	// 5. One interactive request, end to end.
+	x := tensor.New(ds.X.Shape()[1:]...)
+	copy(x.Data(), ds.X.Data()[:x.Size()])
+	srv2 := serve.New(replicas, serve.Config{MaxBatch: 1, QueueCap: 4, DefaultDeadline: time.Second})
+	p, err := srv2.Predict(context.Background(), x)
+	srv2.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsample 0 → class %d, top-3 %v\n", p.Class, distdl.TopK(p.Probs, 3))
+}

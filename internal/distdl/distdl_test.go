@@ -675,3 +675,95 @@ func TestElasticRestart(t *testing.T) {
 		t.Fatalf("training did not keep improving after elastic restart: %f -> %f", lossBefore, lossAfter)
 	}
 }
+
+// --- distributed inference (serving's offline counterpart) ---
+
+func TestDistributedPredictMatchesLocal(t *testing.T) {
+	x, _, _ := synthClassification(31, 23, 4)
+	// Local reference: one model, full batch, softmax probabilities.
+	ref := nn.ApplyActivation(buildModel(99).Forward(x, false), nn.ActSoftmax)
+
+	for _, p := range []int{1, 2, 3, 4} {
+		w := mpi.NewWorld(p)
+		err := w.Run(func(c *mpi.Comm) error {
+			model := buildModel(99) // same seed on every rank = same params
+			probs := DistributedPredict(c, model, x, 5, nn.ActSoftmax)
+			if probs.Dim(0) != 23 || probs.Dim(1) != 2 {
+				return fmt.Errorf("rank %d: shape %v", c.Rank(), probs.Shape())
+			}
+			for i, v := range probs.Data() {
+				if math.Abs(v-ref.Data()[i]) > 1e-12 {
+					return fmt.Errorf("rank %d: element %d differs: %g vs %g", c.Rank(), i, v, ref.Data()[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestDistributedPredictRowsAreProbabilities(t *testing.T) {
+	x, _, _ := synthClassification(33, 11, 4)
+	w := mpi.NewWorld(2)
+	err := w.Run(func(c *mpi.Comm) error {
+		probs := DistributedPredict(c, buildModel(5), x, 4, nn.ActSoftmax)
+		for i := 0; i < probs.Dim(0); i++ {
+			sum := 0.0
+			for j := 0; j < probs.Dim(1); j++ {
+				v := probs.At(i, j)
+				if v < 0 || v > 1 {
+					return fmt.Errorf("probability out of range: %g", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return fmt.Errorf("row %d sums to %g", i, sum)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedArgmaxConsistentWithPredict(t *testing.T) {
+	x, _, _ := synthClassification(35, 17, 4)
+	w := mpi.NewWorld(3)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildModel(7)
+		preds := DistributedArgmax(c, model, x, 4)
+		probs := DistributedPredict(c, model, x, 4, nn.ActSigmoid)
+		if len(preds) != 17 {
+			return fmt.Errorf("got %d predictions", len(preds))
+		}
+		for i, cls := range preds {
+			if cls != probs.ArgmaxRows()[i] {
+				return fmt.Errorf("sample %d: argmax %d vs probability argmax %d", i, cls, probs.ArgmaxRows()[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	probs := []float64{0.1, 0.5, 0.05, 0.3, 0.05}
+	if got := TopK(probs, 3); got[0] != 1 || got[1] != 3 || got[2] != 0 {
+		t.Fatalf("TopK(3) = %v, want [1 3 0]", got)
+	}
+	if got := TopK(probs, 99); len(got) != 5 {
+		t.Fatalf("overlong k not clamped: %v", got)
+	}
+	if got := TopK(probs, 0); len(got) != 0 {
+		t.Fatalf("k=0 should be empty, got %v", got)
+	}
+	// Ties keep the lower index first (stable sort).
+	if got := TopK([]float64{0.2, 0.4, 0.4}, 2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("tie-break wrong: %v", got)
+	}
+}

@@ -1,6 +1,8 @@
 package distdl
 
 import (
+	"sort"
+
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -12,50 +14,89 @@ import (
 // Inference is embarrassingly parallel: ranks process disjoint
 // contiguous shards and the predictions are reassembled everywhere.
 
-// DistributedArgmax runs model forward over this rank's shard of xs in
-// minibatches and returns the argmax class per sample for the FULL
-// dataset, identical on every rank (gather at rank 0 + broadcast). The
-// model must already hold identical parameters on all ranks (e.g. via
-// Trainer's broadcast or nn.LoadParams).
-func DistributedArgmax(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, batch int) []int {
+// DistributedPredict runs model forward over this rank's shard of xs in
+// minibatches and returns the (N, classes) per-class probability matrix
+// for the FULL dataset, identical on every rank (gather at rank 0 +
+// broadcast). act selects the logit-to-probability mapping matching the
+// training loss (sigmoid for multi-label BigEarthNet heads, softmax for
+// single-label). The model must already hold identical parameters on all
+// ranks (e.g. via Trainer's broadcast or nn.LoadParams).
+func DistributedPredict(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, batch int, act nn.Activation) *tensor.Tensor {
 	if batch < 1 {
 		panic("distdl: batch must be positive")
 	}
 	n := xs.Dim(0)
+	if n == 0 {
+		panic("distdl: empty dataset")
+	}
 	p, r := c.Size(), c.Rank()
 	lo, hi := r*n/p, (r+1)*n/p
 
-	local := make([]float64, 0, hi-lo)
+	// The index buffer is allocated once and resliced per minibatch.
+	idx := make([]int, batch)
+	var local []float64
 	for b := lo; b < hi; b += batch {
 		e := b + batch
 		if e > hi {
 			e = hi
 		}
-		idx := make([]int, e-b)
-		for i := range idx {
-			idx[i] = b + i
+		ids := idx[:e-b]
+		for i := range ids {
+			ids[i] = b + i
 		}
-		bx := gatherRows(xs, idx)
-		out := model.Forward(bx, false)
-		for _, cls := range out.ArgmaxRows() {
-			local = append(local, float64(cls))
+		bx := gatherRows(xs, ids)
+		out := nn.ApplyActivation(model.Forward(bx, false), act)
+		if local == nil {
+			local = make([]float64, 0, (hi-lo)*out.Dim(1))
 		}
+		local = append(local, out.Data()...)
 	}
 
 	parts := c.Gather(0, local)
 	var flat []float64
 	if r == 0 {
-		flat = make([]float64, 0, n)
+		total := 0
+		for _, pt := range parts {
+			total += len(pt)
+		}
+		flat = make([]float64, 0, total)
 		for _, pt := range parts {
 			flat = append(flat, pt...)
 		}
 	}
 	flat = c.Bcast(0, flat)
-	preds := make([]int, len(flat))
-	for i, v := range flat {
-		preds[i] = int(v)
+
+	classes := len(flat) / n
+	probs := tensor.New(n, classes)
+	copy(probs.Data(), flat)
+	return probs
+}
+
+// DistributedArgmax runs model forward over this rank's shard of xs and
+// returns the argmax class per sample for the FULL dataset, identical on
+// every rank. It is DistributedPredict with the scores thrown away (raw
+// logits are exchanged — argmax is activation-invariant — at the cost of
+// an n×classes rather than n-element gather).
+func DistributedArgmax(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, batch int) []int {
+	return DistributedPredict(c, model, xs, batch, nn.ActIdentity).ArgmaxRows()
+}
+
+// TopK returns the indices of the k largest probabilities in descending
+// order (serving's "top-k classes with confidence" response shape). k is
+// clamped to len(probs).
+func TopK(probs []float64, k int) []int {
+	if k > len(probs) {
+		k = len(probs)
 	}
-	return preds
+	if k < 0 {
+		k = 0
+	}
+	order := make([]int, len(probs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return probs[order[a]] > probs[order[b]] })
+	return order[:k]
 }
 
 // InferenceThroughput reports samples/second achieved by this rank's

@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation maps final-layer logits to probabilities. The choice follows
+// the training loss: SoftmaxCrossEntropy-trained single-label heads use
+// ActSoftmax, BCEWithLogits-trained multi-label heads (BigEarthNet) use
+// ActSigmoid.
+type Activation int
+
+// Logit-to-probability mappings.
+const (
+	ActSoftmax  Activation = iota // single-label: each row sums to 1
+	ActSigmoid                    // multi-label: independent per-class probability
+	ActIdentity                   // raw scores, no mapping
+)
+
+// ApplyActivation converts a (N, classes) logit matrix to probabilities.
+// Argmax is preserved for every choice (softmax and sigmoid are monotone),
+// so classification decisions are activation-independent.
+func ApplyActivation(logits *tensor.Tensor, act Activation) *tensor.Tensor {
+	switch act {
+	case ActSoftmax:
+		return tensor.SoftmaxRows(logits)
+	case ActSigmoid:
+		return tensor.Apply(logits, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	default:
+		return logits
+	}
+}

@@ -192,6 +192,23 @@ func Evaluate(w Workload, p Placement) Result {
 	return Result{Seconds: t, Joules: power * t}
 }
 
+// ComputeSpec returns the node spec of the module's largest non-service
+// group — the partition placements (and the serving tier in
+// internal/serve) run on.
+func ComputeSpec(m *msa.Module) msa.NodeSpec { return computeGroupSpec(m) }
+
+// InferenceWorkload describes one online-inference request as a
+// perfmodel workload: per-sample forward flops and activation/weight
+// traffic. Serving derives per-replica service times from it via
+// NodeTime (internal/serve.DerivePlan).
+func InferenceWorkload(name string, flopsPerSample, bytesPerSample float64) Workload {
+	return Workload{
+		Name: name, Class: ClassDLInference,
+		Flops: flopsPerSample, Bytes: bytesPerSample,
+		ParallelFrac: 1, PrefersGPU: true,
+	}
+}
+
 // computeGroupSpec returns the node spec of the module's largest
 // non-service group (the compute partition used for placements).
 func computeGroupSpec(m *msa.Module) msa.NodeSpec {

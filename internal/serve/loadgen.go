@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// LoadConfig drives a closed-loop load test: Clients concurrent callers,
+// each issuing its next request the moment the previous one resolves —
+// the standard serving-benchmark harness shape (MLPerf Inference server
+// scenario).
+type LoadConfig struct {
+	Clients int
+	// RequestsPerClient bounds each client's request count; 0 means run
+	// until Duration elapses instead.
+	RequestsPerClient int
+	Duration          time.Duration
+	// ShedBackoff is slept after a shed response before the client
+	// retries, so overload doesn't degenerate into a spin loop
+	// (default 200µs).
+	ShedBackoff time.Duration
+}
+
+// LoadReport is the client-side view of a load run (the server-side view
+// is Server.Snapshot).
+type LoadReport struct {
+	Sent    int64
+	OK      int64
+	Shed    int64
+	Expired int64
+	Failed  int64
+	Wall    time.Duration
+	// Throughput is successful responses per second of wall time.
+	Throughput float64
+}
+
+// RunClosedLoop runs the load against s, sampling request inputs via
+// sample(client, i).
+func RunClosedLoop(s *Server, cfg LoadConfig, sample func(client, i int) *tensor.Tensor) LoadReport {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.ShedBackoff <= 0 {
+		cfg.ShedBackoff = 200 * time.Microsecond
+	}
+	var sent, ok, shed, expired, failed atomic.Int64
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if cfg.RequestsPerClient > 0 {
+					if i >= cfg.RequestsPerClient {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				sent.Add(1)
+				_, err := s.Predict(context.Background(), sample(c, i))
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+					time.Sleep(cfg.ShedBackoff)
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					expired.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	rep := LoadReport{
+		Sent: sent.Load(), OK: ok.Load(), Shed: shed.Load(),
+		Expired: expired.Load(), Failed: failed.Load(), Wall: wall,
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.OK) / wall.Seconds()
+	}
+	return rep
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-cheap latency histogram: power-of-two microsecond
+// buckets updated with a single atomic add per observation. Quantiles are
+// reconstructed from the bucket counts (resolution is one octave — ample
+// for p50/p95/p99 reporting and regression tracking).
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+const histBuckets = 48 // bucket i covers [2^(i-1), 2^i) µs — spans ns to years
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	idx := bits.Len64(uint64(us))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observed latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Quantile returns the latency at quantile q in [0,1], estimated as the
+// geometric midpoint of the containing bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n-1)) + 1
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			// Bucket i covers [2^(i-1), 2^i) µs; midpoint ≈ 1.5·2^(i-1).
+			mid := 3 * (int64(1) << uint(i-1)) / 2
+			return time.Duration(mid) * time.Microsecond
+		}
+	}
+	return time.Duration(3*(int64(1)<<uint(histBuckets-2))/2) * time.Microsecond
+}
+
+// metrics is the server's internal counter set. All fields are atomics;
+// the hot path never takes a lock.
+type metrics struct {
+	start time.Time
+
+	arrivals  atomic.Int64
+	shed      atomic.Int64
+	rejected  atomic.Int64 // arrivals after Close
+	expired   atomic.Int64 // dropped at assembly, deadline passed
+	completed atomic.Int64
+	failed    atomic.Int64
+	retries   atomic.Int64
+
+	batches      atomic.Int64
+	batchSamples atomic.Int64
+
+	maxQueueDepth atomic.Int64
+
+	latency Histogram
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+func (m *metrics) observeQueueDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := m.maxQueueDepth.Load()
+		if d <= cur || m.maxQueueDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// ReplicaStats is one replica's snapshot row.
+type ReplicaStats struct {
+	ID       int
+	Batches  int64
+	Samples  int64
+	Failures int64
+	// Utilization is the fraction of wall time the replica spent
+	// inferring (including modeled service time).
+	Utilization float64
+}
+
+// Snapshot is a consistent-enough point-in-time view of the server's
+// metrics (counters are read individually; cross-counter sums can be off
+// by in-flight requests while the server is running, and are exact after
+// Close).
+type Snapshot struct {
+	Elapsed time.Duration
+
+	Arrivals  int64
+	Completed int64
+	Shed      int64
+	Rejected  int64
+	Expired   int64
+	Failed    int64
+	Retries   int64
+
+	// Throughput is completed requests per second of elapsed wall time.
+	Throughput float64
+	// MeanBatch is the average dispatched batch size — the dynamic
+	// batcher's coalescing factor.
+	MeanBatch float64
+	Batches   int64
+
+	MeanLatency   time.Duration
+	P50, P95, P99 time.Duration
+
+	QueueDepth    int
+	MaxQueueDepth int
+
+	Replicas []ReplicaStats
+}
+
+// Snapshot captures the server's metrics.
+func (s *Server) Snapshot() Snapshot {
+	m := s.metrics
+	elapsed := time.Since(m.start)
+	snap := Snapshot{
+		Elapsed:       elapsed,
+		Arrivals:      m.arrivals.Load(),
+		Completed:     m.completed.Load(),
+		Shed:          m.shed.Load(),
+		Rejected:      m.rejected.Load(),
+		Expired:       m.expired.Load(),
+		Failed:        m.failed.Load(),
+		Retries:       m.retries.Load(),
+		Batches:       m.batches.Load(),
+		MeanLatency:   m.latency.Mean(),
+		P50:           m.latency.Quantile(0.50),
+		P95:           m.latency.Quantile(0.95),
+		P99:           m.latency.Quantile(0.99),
+		QueueDepth:    len(s.queue),
+		MaxQueueDepth: int(m.maxQueueDepth.Load()),
+	}
+	if elapsed > 0 {
+		snap.Throughput = float64(snap.Completed) / elapsed.Seconds()
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(m.batchSamples.Load()) / float64(snap.Batches)
+	}
+	for _, r := range s.pool.all {
+		util := 0.0
+		if elapsed > 0 {
+			util = float64(r.busyNs.Load()) / float64(elapsed.Nanoseconds())
+			if util > 1 {
+				util = 1
+			}
+		}
+		snap.Replicas = append(snap.Replicas, ReplicaStats{
+			ID: r.id, Batches: r.batches.Load(), Samples: r.samples.Load(),
+			Failures: r.failures.Load(), Utilization: util,
+		})
+	}
+	return snap
+}
+
+// String renders the snapshot as a small report.
+func (sn Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed %.2fs  throughput %.1f req/s  mean batch %.2f\n",
+		sn.Elapsed.Seconds(), sn.Throughput, sn.MeanBatch)
+	fmt.Fprintf(&b, "requests: %d arrived, %d completed, %d shed, %d expired, %d failed (%d retries)\n",
+		sn.Arrivals, sn.Completed, sn.Shed, sn.Expired, sn.Failed, sn.Retries)
+	fmt.Fprintf(&b, "latency: mean %s  p50 %s  p95 %s  p99 %s\n",
+		sn.MeanLatency.Round(time.Microsecond), sn.P50, sn.P95, sn.P99)
+	fmt.Fprintf(&b, "queue: depth %d (max %d)\n", sn.QueueDepth, sn.MaxQueueDepth)
+	for _, r := range sn.Replicas {
+		fmt.Fprintf(&b, "  replica %d: %d batches / %d samples, %d failures, %.0f%% busy\n",
+			r.ID, r.Batches, r.Samples, r.Failures, 100*r.Utilization)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Backend executes one inference batch: input (B, dims...), output
+// (B, classes) scores or probabilities. A backend is never used by more
+// than one batch at a time by the server; implementations shared outside
+// a server must synchronize themselves.
+type Backend interface {
+	Infer(batch *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// replica is one pool slot: a backend plus its health and utilization
+// accounting.
+type replica struct {
+	id       int
+	backend  Backend
+	busyNs   atomic.Int64
+	batches  atomic.Int64
+	samples  atomic.Int64
+	failures atomic.Int64
+}
+
+// pool hands exclusive replica ownership to dispatch workers. Failed
+// replicas are quarantined for a cooldown, then rejoin — graceful
+// degradation rather than permanent capacity loss (a restarted serving
+// process on an MSA node comes back).
+type pool struct {
+	free     chan *replica
+	all      []*replica
+	cooldown time.Duration
+}
+
+func newPool(backends []Backend, cooldown time.Duration) *pool {
+	p := &pool{
+		free:     make(chan *replica, len(backends)),
+		all:      make([]*replica, len(backends)),
+		cooldown: cooldown,
+	}
+	for i, b := range backends {
+		r := &replica{id: i, backend: b}
+		p.all[i] = r
+		p.free <- r
+	}
+	return p
+}
+
+// acquire blocks until a healthy replica is available. Quarantined
+// replicas always rejoin after the cooldown, so acquire cannot starve
+// forever.
+func (p *pool) acquire() *replica { return <-p.free }
+
+func (p *pool) release(r *replica) { p.free <- r }
+
+// quarantine keeps a failed replica out of the pool for the cooldown.
+func (p *pool) quarantine(r *replica) {
+	time.AfterFunc(p.cooldown, func() { p.free <- r })
+}
+
+// ModelBackend serves a real nn.Sequential. Layers cache activations
+// during Forward, so the model belongs to one inference at a time; the
+// mutex makes direct (non-server) concurrent use safe too.
+type ModelBackend struct {
+	mu    sync.Mutex
+	model *nn.Sequential
+	act   nn.Activation
+}
+
+// NewModelBackend wraps a model whose logits are mapped to probabilities
+// with act (sigmoid for multi-label heads, softmax for single-label).
+func NewModelBackend(m *nn.Sequential, act nn.Activation) *ModelBackend {
+	return &ModelBackend{model: m, act: act}
+}
+
+// Infer runs the forward pass in inference mode and applies the
+// activation.
+func (b *ModelBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return nn.ApplyActivation(b.model.Forward(batch, false), b.act), nil
+}
+
+// ModeledBackend wraps a backend with the modeled MSA service time of the
+// hosting module (placement.go): a fixed per-batch dispatch overhead plus
+// a per-sample cost. It is how the placement experiment makes a laptop
+// behave like a CM, ESB, or DAM replica — the real (small) forward pass
+// still runs, the sleep adds the modeled hardware differential.
+type ModeledBackend struct {
+	Inner     Backend
+	Overhead  time.Duration // per-batch dispatch cost
+	PerSample time.Duration // per-sample service cost on this hardware
+}
+
+// Infer sleeps the modeled service time, then delegates.
+func (b *ModeledBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
+	time.Sleep(b.Overhead + time.Duration(batch.Dim(0))*b.PerSample)
+	return b.Inner.Infer(batch)
+}
+
+// FlakyBackend injects replica failures for degradation testing: calls
+// for which FailWhen returns true fail instead of inferring.
+type FlakyBackend struct {
+	Inner    Backend
+	FailWhen func(call int64) bool
+	calls    atomic.Int64
+}
+
+// Infer fails on injected calls, delegating otherwise.
+func (b *FlakyBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
+	n := b.calls.Add(1)
+	if b.FailWhen != nil && b.FailWhen(n) {
+		return nil, fmt.Errorf("serve: injected failure on call %d", n)
+	}
+	return b.Inner.Infer(batch)
+}
+
+// NewReplicaModels builds n independent model replicas from factory and
+// restores the same nn.SaveModel checkpoint blob into each (layers are
+// stateful, so every replica needs its own instance; identical weights
+// come from the shared checkpoint — the serving warm-up path). A nil blob
+// keeps the factory's initialization.
+func NewReplicaModels(factory func() *nn.Sequential, blob []byte, n int, act nn.Activation) ([]Backend, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: need at least one replica, got %d", n)
+	}
+	out := make([]Backend, n)
+	for i := range out {
+		m := factory()
+		if blob != nil {
+			if err := nn.LoadModel(m, blob); err != nil {
+				return nil, fmt.Errorf("serve: restoring replica %d: %w", i, err)
+			}
+		}
+		out[i] = NewModelBackend(m, act)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+)
+
+// ModelStore persists trained-model checkpoints as files under one
+// directory — the training→serving hand-off of §II-A: the CM trains and
+// writes the checkpoint to shared storage (SSSM), and the serving tier on
+// the ESB warm-starts by restoring it, so serving never needs an
+// in-process training run. Checkpoints are nn.SaveModel blobs (parameters
+// plus batch-norm running statistics), which restore identical inference
+// behaviour.
+type ModelStore struct {
+	Dir string
+}
+
+// NewModelStore opens (creating if needed) a checkpoint directory.
+func NewModelStore(dir string) (*ModelStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating model store %s: %w", dir, err)
+	}
+	return &ModelStore{Dir: dir}, nil
+}
+
+func (s *ModelStore) path(name string) string {
+	return filepath.Join(s.Dir, name+".ckpt")
+}
+
+// Exists reports whether a checkpoint with this name is present.
+func (s *ModelStore) Exists(name string) bool {
+	_, err := os.Stat(s.path(name))
+	return err == nil
+}
+
+// Save checkpoints the model under name. The write goes through a
+// temporary file and rename, so concurrent readers never observe a
+// partial checkpoint.
+func (s *ModelStore) Save(name string, m *nn.Sequential) error {
+	blob, err := nn.SaveModel(m)
+	if err != nil {
+		return err
+	}
+	tmp := s.path(name) + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("storage: writing checkpoint %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, s.path(name)); err != nil {
+		return fmt.Errorf("storage: committing checkpoint %s: %w", name, err)
+	}
+	return nil
+}
+
+// Blob returns the raw checkpoint bytes (for replicating one read across
+// many serving replicas without re-touching the filesystem).
+func (s *ModelStore) Blob(name string) ([]byte, error) {
+	blob, err := os.ReadFile(s.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading checkpoint %s: %w", name, err)
+	}
+	return blob, nil
+}
+
+// LoadInto restores the named checkpoint into a structurally identical
+// model (parameter names and shapes must match).
+func (s *ModelStore) LoadInto(name string, m *nn.Sequential) error {
+	blob, err := s.Blob(name)
+	if err != nil {
+		return err
+	}
+	return nn.LoadModel(m, blob)
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestModelStoreRoundTrip exercises the training→serving hand-off: a
+// "trained" model (with exercised batch-norm statistics) is checkpointed,
+// then restored into a differently-initialized replica, which must
+// produce bit-identical inference outputs.
+func TestModelStoreRoundTrip(t *testing.T) {
+	store, err := NewModelStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(seed int64) *nn.Sequential {
+		return nn.ResNetMini(rand.New(rand.NewSource(seed)), 2, 4, 4, 1)
+	}
+	trained := build(1)
+	// A training-mode forward moves the batch-norm running statistics off
+	// their initialization, so the round trip covers state, not just
+	// parameters.
+	x := tensor.Randn(rand.New(rand.NewSource(2)), 1, 3, 2, 8, 8)
+	trained.Forward(x, true)
+
+	if store.Exists("resnet") {
+		t.Fatal("checkpoint must not exist before Save")
+	}
+	if err := store.Save("resnet", trained); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Exists("resnet") {
+		t.Fatal("checkpoint missing after Save")
+	}
+
+	replica := build(77) // different init: weights must come from the store
+	if err := store.LoadInto("resnet", replica); err != nil {
+		t.Fatal(err)
+	}
+	want := trained.Forward(x, false)
+	got := replica.Forward(x, false)
+	for i, v := range got.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("restored replica diverges at element %d: %g vs %g", i, v, want.Data()[i])
+		}
+	}
+
+	// Blob is the fan-out path for many replicas: one read, N restores.
+	blob, err := store.Blob("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica2 := build(78)
+	if err := nn.LoadModel(replica2, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural mismatch must be rejected, not silently accepted.
+	wrong := nn.MLP(rand.New(rand.NewSource(3)), 4, 2)
+	if err := store.LoadInto("resnet", wrong); err == nil {
+		t.Fatal("loading a ResNet checkpoint into an MLP must fail")
+	}
+	// Missing checkpoint is an error.
+	if err := store.LoadInto("nope", build(1)); err == nil {
+		t.Fatal("loading a missing checkpoint must fail")
+	}
+}
