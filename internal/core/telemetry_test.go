@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// TestDDPChromeTraceExport is the end-to-end observability acceptance
+// check: a 4-rank training run must produce a valid Chrome trace-event
+// JSON with one distinct track per rank, collective spans tagged with
+// payload bytes and the resolved algorithm, and a Prometheus text dump
+// carrying per-kind collective counters.
+func TestDDPChromeTraceExport(t *testing.T) {
+	// 32 samples → 24 train → an even 6 per rank: synchronous DDP needs
+	// every rank to take the same number of steps.
+	ds := data.GenMultispectral(data.MultispectralConfig{Samples: 32, Seed: 5})
+	split := data.TrainValSplit(32, 0.25, 6)
+	tracer := telemetry.NewTracer(0)
+	reg := telemetry.NewRegistry()
+	res := TrainResNetBigEarthNet(DDPConfig{Workers: 4, Epochs: 1, Batch: 4,
+		BaseLR: 0.01, Algo: mpi.AlgoRing, Seed: 7, Tracer: tracer, Registry: reg}, ds, split)
+	if res.Steps <= 0 {
+		t.Fatalf("run did not train: %+v", res)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace telemetry.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	tids := map[int]bool{}
+	collectives := 0
+	ringAllreduces := 0
+	steps := 0
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		tids[ev.Tid] = true
+		if ev.Dur < 0 {
+			t.Fatalf("negative duration in event %q", ev.Name)
+		}
+		switch ev.Cat {
+		case string(telemetry.CatCollective):
+			collectives++
+			if ev.Name == "allreduce" {
+				b, _ := ev.Args["bytes"].(float64)
+				if b <= 0 {
+					t.Fatalf("allreduce span missing payload bytes: %+v", ev)
+				}
+				attr, _ := ev.Args["attr"].(string)
+				if attr == "" {
+					t.Fatalf("allreduce span missing algorithm attr: %+v", ev)
+				}
+				// Gradient syncs are explicitly ring; loss syncs resolve
+				// AlgoAuto on their own.
+				if attr == string(mpi.AlgoRing) {
+					ringAllreduces++
+				}
+			}
+		case string(telemetry.CatStep):
+			steps++
+		}
+	}
+	if len(tids) < 4 {
+		t.Fatalf("trace has %d distinct tracks, want >= 4 (one per rank)", len(tids))
+	}
+	if collectives == 0 {
+		t.Fatal("no collective spans in trace")
+	}
+	if ringAllreduces == 0 {
+		t.Fatal("no ring-tagged gradient allreduce spans in trace")
+	}
+	if steps == 0 {
+		t.Fatal("no step spans in trace")
+	}
+	names := tracer.TrackNames()
+	for r := 0; r < 4; r++ {
+		if names[r] == "" {
+			t.Fatalf("rank %d track unnamed", r)
+		}
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		`msa_mpi_collectives_total{type="allreduce"}`,
+		`msa_mpi_collectives_total{type="bcast"}`,
+		"msa_mpi_world_size 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus dump missing %q:\n%s", want, text)
+		}
+	}
+}

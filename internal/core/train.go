@@ -8,6 +8,7 @@ import (
 	"repro/internal/distdl"
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -27,6 +28,13 @@ type DDPConfig struct {
 	// (Adam state split across ranks) instead of replicated SGD.
 	ZeRO bool
 	Seed int64
+	// Tracer, when non-nil, is attached to the MPI world (per-rank
+	// collective spans) and both trainer kinds (compute/comm/step spans),
+	// yielding one Chrome-trace track per rank.
+	Tracer *telemetry.Tracer
+	// Registry, when non-nil, receives the world's collective counters
+	// (per-kind totals, message and element volume) for Prometheus export.
+	Registry *telemetry.Registry
 }
 
 // DDPResult aggregates a run.
@@ -95,6 +103,12 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 	}
 
 	world := mpi.NewWorld(cfg.Workers)
+	if cfg.Tracer != nil {
+		world.SetTracer(cfg.Tracer)
+	}
+	if cfg.Registry != nil {
+		world.RegisterMetrics(cfg.Registry)
+	}
 	var out DDPResult
 	start := time.Now()
 	err := world.Run(func(c *mpi.Comm) error {
@@ -107,11 +121,11 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 		var plain *distdl.Trainer
 		if cfg.ZeRO {
 			tr = distdl.NewZeROTrainer(c, model, loss, distdl.Config{
-				Algo: cfg.Algo, Schedule: sched,
+				Algo: cfg.Algo, Schedule: sched, Tracer: cfg.Tracer,
 			})
 		} else {
 			plain = distdl.NewTrainer(c, model, loss, nn.NewSGD(0.9, 1e-4), distdl.Config{
-				Algo: cfg.Algo, Compression: comp, Schedule: sched,
+				Algo: cfg.Algo, Compression: comp, Schedule: sched, Tracer: cfg.Tracer,
 			})
 			tr = plain
 		}

@@ -16,9 +16,11 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -43,6 +45,11 @@ type Config struct {
 	// Schedule yields the learning rate per optimizer step; defaults to
 	// a constant 0.01 when nil.
 	Schedule nn.Schedule
+	// Tracer, when non-nil, receives compute/comm sub-spans and one step
+	// span per optimizer step on this rank's track, so the per-step
+	// communication fraction is readable straight off the timeline. The
+	// nil default costs nothing on the hot path.
+	Tracer *telemetry.Tracer
 }
 
 // Trainer drives one rank's replica.
@@ -58,6 +65,12 @@ type Trainer struct {
 	// GradBytesSent accumulates the simulated wire volume of gradient
 	// exchanges from this rank (4 bytes/elem fp32 view, 2 for fp16).
 	GradBytesSent int64
+	// ComputeNs and CommNs accumulate wall time spent in local
+	// compute (forward/backward/optimizer) versus communication
+	// (gradient and loss sync) across all steps — the raw inputs to the
+	// comm-fraction breakdown, tracked whether or not a Tracer is set.
+	ComputeNs int64
+	CommNs    int64
 }
 
 // NewTrainer wires a replica to its communicator. Parameters are
@@ -80,10 +93,17 @@ func NewTrainer(comm *mpi.Comm, model *nn.Sequential, loss nn.Loss, opt nn.Optim
 // Step runs one synchronous data-parallel optimizer step on this rank's
 // minibatch and returns the *globally averaged* loss.
 func (t *Trainer) Step(x, y *tensor.Tensor) float64 {
+	tr := t.Cfg.Tracer
+	rank := t.Comm.Rank()
+	stepStart := tr.Start()
+
+	c0 := time.Now()
 	t.Model.ZeroGrads()
 	out := t.Model.Forward(x, true)
 	loss, grad := t.Loss.Forward(out, y)
 	t.Model.Backward(grad)
+	t.ComputeNs += time.Since(c0).Nanoseconds()
+	tr.End(rank, telemetry.CatCompute, "fwd-bwd", stepStart, 0, "")
 
 	flat := nn.FlattenGrads(t.params)
 	bytesPerElem := int64(4)
@@ -91,6 +111,8 @@ func (t *Trainer) Step(x, y *tensor.Tensor) float64 {
 		CompressFP16(flat)
 		bytesPerElem = 2
 	}
+	commStart := tr.Start()
+	c1 := time.Now()
 	if t.Comm.Size() > 1 {
 		flat = t.Comm.AllreduceMean(flat, t.Cfg.Algo)
 		// Ring allreduce moves ~2·n elements per rank; we charge the
@@ -98,15 +120,38 @@ func (t *Trainer) Step(x, y *tensor.Tensor) float64 {
 		p := int64(t.Comm.Size())
 		t.GradBytesSent += 2 * int64(len(flat)) * (p - 1) / p * bytesPerElem
 	}
+	t.CommNs += time.Since(c1).Nanoseconds()
+	tr.End(rank, telemetry.CatComm, "grad-sync", commStart, int64(len(flat))*bytesPerElem, string(t.Cfg.Algo))
 	nn.UnflattenGrads(t.params, flat)
 
+	optStart := tr.Start()
+	o0 := time.Now()
 	if t.Cfg.ClipNorm > 0 {
 		nn.ClipGradNorm(t.params, t.Cfg.ClipNorm)
 	}
 	t.Opt.Step(t.params, t.Cfg.Schedule.LR(t.step))
+	t.ComputeNs += time.Since(o0).Nanoseconds()
+	tr.End(rank, telemetry.CatCompute, "optimizer", optStart, 0, "")
 	t.step++
 
-	return t.Comm.AllreduceScalar(loss, mpi.OpSum) / float64(t.Comm.Size())
+	lossStart := tr.Start()
+	c2 := time.Now()
+	mean := t.Comm.AllreduceScalar(loss, mpi.OpSum) / float64(t.Comm.Size())
+	t.CommNs += time.Since(c2).Nanoseconds()
+	tr.End(rank, telemetry.CatComm, "loss-sync", lossStart, 8, "")
+	tr.End(rank, telemetry.CatStep, "step", stepStart, 0, "")
+	return mean
+}
+
+// CommFraction returns the share of this rank's accumulated step time
+// spent communicating — the quantity whose growth with worker count
+// bounds data-parallel scaling efficiency (§III-A).
+func (t *Trainer) CommFraction() float64 {
+	total := t.ComputeNs + t.CommNs
+	if total == 0 {
+		return 0
+	}
+	return float64(t.CommNs) / float64(total)
 }
 
 // StepCount returns the number of optimizer steps taken.

@@ -2,9 +2,11 @@ package distdl
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -29,6 +31,11 @@ type ZeROTrainer struct {
 	m, v              []float64
 	beta1, beta2, eps float64
 	step              int
+
+	// ComputeNs and CommNs mirror Trainer's compute/communication wall
+	// time split (reduce-scatter + allgather count as communication).
+	ComputeNs int64
+	CommNs    int64
 }
 
 // NewZeROTrainer builds a sharded-optimizer replica. The world size must
@@ -63,14 +70,23 @@ func (t *ZeROTrainer) ShardSize() int { return t.hi - t.lo }
 
 // Step runs one sharded optimizer step and returns the global mean loss.
 func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
+	tr := t.Cfg.Tracer
+	rank := t.Comm.Rank()
+	stepStart := tr.Start()
+
+	c0 := time.Now()
 	t.Model.ZeroGrads()
 	out := t.Model.Forward(x, true)
 	loss, grad := t.Loss.Forward(out, y)
 	t.Model.Backward(grad)
+	t.ComputeNs += time.Since(c0).Nanoseconds()
+	tr.End(rank, telemetry.CatCompute, "fwd-bwd", stepStart, 0, "")
 
 	flat := nn.FlattenGrads(t.params)
 	var shard []float64
 	p := t.Comm.Size()
+	rsStart := tr.Start()
+	w1 := time.Now()
 	if p > 1 {
 		shard = t.Comm.ReduceScatter(flat, mpi.OpSum)
 		inv := 1 / float64(p)
@@ -80,8 +96,12 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 	} else {
 		shard = flat[t.lo:t.hi]
 	}
+	t.CommNs += time.Since(w1).Nanoseconds()
+	tr.End(rank, telemetry.CatComm, "grad-reduce-scatter", rsStart, int64(len(flat))*8, string(t.Cfg.Algo))
 
 	// Adam on the local shard.
+	adamStart := tr.Start()
+	a0 := time.Now()
 	t.step++
 	lr := t.Cfg.Schedule.LR(t.step - 1)
 	c1 := 1 - math.Pow(t.beta1, float64(t.step))
@@ -96,9 +116,14 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 		local[i] -= lr * mh / (math.Sqrt(vh) + t.eps)
 	}
 
+	t.ComputeNs += time.Since(a0).Nanoseconds()
+	tr.End(rank, telemetry.CatCompute, "adam-shard", adamStart, 0, "")
+
 	// Allgather the updated shards. Shards may differ in size by one
 	// chunk-boundary element, so exchange via Gather+Bcast on uneven
 	// worlds and fast Allgather when even.
+	agStart := tr.Start()
+	g0 := time.Now()
 	if p > 1 {
 		if t.n%p == 0 {
 			full := t.Comm.Allgather(local)
@@ -119,8 +144,25 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 		copy(vals[t.lo:t.hi], local)
 		nn.UnflattenValues(t.params, vals)
 	}
+	t.CommNs += time.Since(g0).Nanoseconds()
+	tr.End(rank, telemetry.CatComm, "param-allgather", agStart, int64(t.n)*8, "")
 
-	return t.Comm.AllreduceScalar(loss, mpi.OpSum) / float64(p)
+	lossStart := tr.Start()
+	w2 := time.Now()
+	mean := t.Comm.AllreduceScalar(loss, mpi.OpSum) / float64(p)
+	t.CommNs += time.Since(w2).Nanoseconds()
+	tr.End(rank, telemetry.CatComm, "loss-sync", lossStart, 8, "")
+	tr.End(rank, telemetry.CatStep, "step", stepStart, 0, "")
+	return mean
+}
+
+// CommFraction returns the communication share of accumulated step time.
+func (t *ZeROTrainer) CommFraction() float64 {
+	total := t.ComputeNs + t.CommNs
+	if total == 0 {
+		return 0
+	}
+	return float64(t.CommNs) / float64(total)
 }
 
 // StepCount returns optimizer steps taken.

@@ -3,7 +3,6 @@ package mpi
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 )
 
 // Reserved internal tags (≥ maxUserTag). Collectives issued in the same
@@ -81,7 +80,7 @@ const autoRingThreshold = 4096
 // ⌈log₂ p⌉ rounds).
 func (c *Comm) Barrier() {
 	p := c.Size()
-	c.countCollective()
+	defer c.collective(KindBarrier, 0, "")()
 	for dist := 1; dist < p; dist *= 2 {
 		dst := (c.rank + dist) % p
 		src := (c.rank - dist + p) % p
@@ -94,7 +93,7 @@ func (c *Comm) Barrier() {
 // returns each rank's copy (root returns data unchanged).
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	p := c.Size()
-	c.countCollective()
+	defer c.collective(KindBcast, len(data), "")()
 	if p == 1 {
 		return data
 	}
@@ -136,7 +135,7 @@ func nextPow2Above(vr int) int {
 // Non-root ranks return nil.
 func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 	p := c.Size()
-	c.countCollective()
+	defer c.collective(KindReduce, len(data), op.Name)()
 	acc := append([]float64(nil), data...)
 	if p == 1 {
 		return acc
@@ -160,16 +159,18 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 // Allreduce combines data across all ranks with op so that every rank
 // obtains the same result, using the requested algorithm.
 func (c *Comm) Allreduce(data []float64, op ReduceOp, algo Algo) []float64 {
-	c.countCollective()
-	if c.Size() == 1 {
-		return append([]float64(nil), data...)
-	}
 	if algo == AlgoAuto {
 		if len(data) >= autoRingThreshold {
 			algo = AlgoRing
 		} else {
 			algo = AlgoRecursiveDoubling
 		}
+	}
+	// The span carries the *resolved* algorithm so Auto runs are still
+	// attributable per-regime in the trace.
+	defer c.collective(KindAllreduce, len(data), string(algo))()
+	if c.Size() == 1 {
+		return append([]float64(nil), data...)
 	}
 	switch algo {
 	case AlgoNaive:
@@ -287,7 +288,7 @@ func (c *Comm) allreduceRecDoubling(data []float64, op ReduceOp) []float64 {
 // ReduceScatter reduces across ranks and leaves rank r holding chunk r of
 // the result; returns the chunk.
 func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
-	c.countCollective()
+	defer c.collective(KindReduceScatter, len(data), op.Name)()
 	p, r, n := c.Size(), c.rank, len(data)
 	if p == 1 {
 		return append([]float64(nil), data...)
@@ -313,7 +314,7 @@ func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
 // Allgather concatenates every rank's equally-sized buffer in rank order
 // at every rank (ring algorithm).
 func (c *Comm) Allgather(data []float64) []float64 {
-	c.countCollective()
+	defer c.collective(KindAllgather, len(data), "")()
 	p, r, n := c.Size(), c.rank, len(data)
 	out := make([]float64, n*p)
 	copy(out[r*n:(r+1)*n], data)
@@ -335,7 +336,7 @@ func (c *Comm) Allgather(data []float64) []float64 {
 // Gather collects every rank's buffer at root in rank order. Non-root
 // ranks return nil. Buffers may have different lengths.
 func (c *Comm) Gather(root int, data []float64) [][]float64 {
-	c.countCollective()
+	defer c.collective(KindGather, len(data), "")()
 	p := c.Size()
 	if c.rank != root {
 		c.Send(root, tagGather, data)
@@ -356,7 +357,7 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 // Scatter distributes parts[i] from root to rank i and returns each rank's
 // part. Only root's parts argument is consulted.
 func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
-	c.countCollective()
+	defer c.collective(KindScatter, totalLen(parts), "")()
 	p := c.Size()
 	if c.rank == root {
 		if len(parts) != p {
@@ -378,7 +379,7 @@ func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
 // to rank d and returns the slice of parts received, indexed by source
 // rank. len(parts) must equal the world size; part lengths may differ.
 func (c *Comm) Alltoall(parts [][]float64) [][]float64 {
-	c.countCollective()
+	defer c.collective(KindAlltoall, totalLen(parts), "")()
 	p := c.Size()
 	if len(parts) != p {
 		panic(fmt.Sprintf("mpi: Alltoall needs %d parts, got %d", p, len(parts)))
@@ -416,8 +417,14 @@ func (c *Comm) AllreduceMean(data []float64, algo Algo) []float64 {
 	return out
 }
 
-func (c *Comm) countCollective() {
-	atomic.AddInt64(&c.world.stats[c.rank].Collectives, 1)
+// totalLen sums the element counts of a per-rank part list (span sizing
+// for Scatter/Alltoall, whose payload is the whole part set).
+func totalLen(parts [][]float64) int {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
 }
 
 // HierarchicalCostModel returns the alpha-beta cost of the two-level

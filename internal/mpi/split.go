@@ -45,7 +45,7 @@ type splitEntry struct {
 // MPI_Comm_split. It is a collective call: every rank must invoke it.
 // Negative color means "not in any group" and returns nil.
 func (c *Comm) Split(color, key int) *SubComm {
-	c.countCollective()
+	defer c.collective(KindSplit, 0, "")()
 	st := c.world.split
 	st.mu.Lock()
 	gen := st.gen
@@ -180,7 +180,7 @@ func (c *Comm) HierarchicalAllreduce(data []float64, op ReduceOp, groupSize int)
 	if groupSize < 1 {
 		panic(fmt.Sprintf("mpi: groupSize must be >=1, got %d", groupSize))
 	}
-	c.countCollective()
+	defer c.collective(KindHierarchicalAllreduce, len(data), fmt.Sprintf("group=%d", groupSize))()
 	node := c.rank / groupSize
 	local := c.Split(node, c.rank)
 	// Intra-node reduce: full allreduce keeps every member consistent and

@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Per-collective-type accounting and span tracing. Every collective entry
+// point funnels through Comm.collective, which (1) bumps the rank's total
+// and per-kind counters, and (2) when a tracer is attached to the World,
+// opens a span tagged with the payload size and algorithm — closed by the
+// returned func. With no tracer attached the extra cost over the old
+// single counter is one atomic add.
+
+// CollectiveKind identifies a collective operation for per-type counts.
+type CollectiveKind int
+
+// Collective kinds, in the order they appear in collectives.go.
+const (
+	KindBarrier CollectiveKind = iota
+	KindBcast
+	KindReduce
+	KindAllreduce
+	KindReduceScatter
+	KindAllgather
+	KindGather
+	KindScatter
+	KindAlltoall
+	KindSplit
+	KindHierarchicalAllreduce
+	NumCollectiveKinds
+)
+
+var kindNames = [NumCollectiveKinds]string{
+	"barrier", "bcast", "reduce", "allreduce", "reduce-scatter",
+	"allgather", "gather", "scatter", "alltoall", "split",
+	"hierarchical-allreduce",
+}
+
+// String returns the kind's canonical lowercase name.
+func (k CollectiveKind) String() string {
+	if k < 0 || k >= NumCollectiveKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// noopEnd is returned when tracing is off so collective call sites can
+// unconditionally defer the result without allocating a closure.
+var noopEnd = func() {}
+
+// collective records a collective call of the given kind moving elems
+// float64 elements (8 bytes each) with an optional algorithm tag, and
+// returns the span-closing func. Nested collectives (e.g. the tree
+// allreduce calling Reduce and Bcast) count and trace individually, as
+// before.
+func (c *Comm) collective(kind CollectiveKind, elems int, attr string) func() {
+	st := &c.world.stats[c.rank]
+	atomic.AddInt64(&st.Collectives, 1)
+	atomic.AddInt64(&st.ByKind[kind], 1)
+	tr := c.world.tracer.Load()
+	if tr == nil {
+		return noopEnd
+	}
+	start := tr.Start()
+	rank := c.rank
+	return func() {
+		tr.End(rank, telemetry.CatCollective, kind.String(), start, int64(elems)*8, attr)
+	}
+}
+
+// SetTracer attaches a span tracer to the world: every collective on any
+// rank emits a telemetry.CatCollective span onto the rank's track, tagged
+// with payload bytes and (for Allreduce) the resolved algorithm. Rank
+// tracks are named "rank N". Pass nil to disable tracing again.
+func (w *World) SetTracer(t *telemetry.Tracer) {
+	w.tracer.Store(t)
+	for r := 0; r < w.size; r++ {
+		t.SetTrackName(r, fmt.Sprintf("rank %d", r))
+	}
+}
+
+// RegisterMetrics exposes the world's traffic counters through a
+// telemetry registry: per-type collective counts (summed across ranks),
+// point-to-point message and element totals, and the world size.
+func (w *World) RegisterMetrics(reg *telemetry.Registry) {
+	reg.SetHelp("msa_mpi_collectives_total", "collective calls by type, summed across ranks")
+	for k := CollectiveKind(0); k < NumCollectiveKinds; k++ {
+		kind := k
+		reg.CounterFunc("msa_mpi_collectives_total", func() float64 {
+			var sum int64
+			for r := 0; r < w.size; r++ {
+				sum += atomic.LoadInt64(&w.stats[r].ByKind[kind])
+			}
+			return float64(sum)
+		}, telemetry.Label{Key: "type", Value: kind.String()})
+	}
+	reg.CounterFunc("msa_mpi_messages_sent_total", func() float64 {
+		var sum int64
+		for r := 0; r < w.size; r++ {
+			sum += atomic.LoadInt64(&w.stats[r].MessagesSent)
+		}
+		return float64(sum)
+	})
+	reg.CounterFunc("msa_mpi_elements_sent_total", func() float64 {
+		var sum int64
+		for r := 0; r < w.size; r++ {
+			sum += atomic.LoadInt64(&w.stats[r].ElemsSent)
+		}
+		return float64(sum)
+	})
+	reg.GaugeFunc("msa_mpi_world_size", func() float64 { return float64(w.size) })
+}

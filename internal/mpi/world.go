@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // AnySource matches a message from any sender in Recv.
@@ -74,7 +76,10 @@ func (m *mailbox) get(src, tag int) message {
 type Stats struct {
 	MessagesSent int64
 	ElemsSent    int64 // float64 elements sent point-to-point
-	Collectives  int64
+	Collectives  int64 // total collective calls (all kinds)
+	// ByKind breaks Collectives down per collective type, indexed by
+	// CollectiveKind.
+	ByKind [NumCollectiveKinds]int64
 }
 
 // World is a set of communicating ranks. Create one with NewWorld, then
@@ -86,6 +91,9 @@ type World struct {
 	stats []Stats
 	gce   *gceEngine
 	split *splitState
+	// tracer, when set, receives one span per collective call, tagged
+	// with payload bytes and algorithm (telemetry.go).
+	tracer atomic.Pointer[telemetry.Tracer]
 }
 
 // NewWorld creates a world with n ranks. Panics if n < 1.
@@ -137,11 +145,15 @@ func (w *World) Run(fn func(c *Comm) error) error {
 
 // RankStats returns a copy of the traffic statistics for one rank.
 func (w *World) RankStats(rank int) Stats {
-	return Stats{
+	s := Stats{
 		MessagesSent: atomic.LoadInt64(&w.stats[rank].MessagesSent),
 		ElemsSent:    atomic.LoadInt64(&w.stats[rank].ElemsSent),
 		Collectives:  atomic.LoadInt64(&w.stats[rank].Collectives),
 	}
+	for k := range s.ByKind {
+		s.ByKind[k] = atomic.LoadInt64(&w.stats[rank].ByKind[k])
+	}
+	return s
 }
 
 // TotalStats sums traffic statistics across ranks.
@@ -152,6 +164,9 @@ func (w *World) TotalStats() Stats {
 		t.MessagesSent += s.MessagesSent
 		t.ElemsSent += s.ElemsSent
 		t.Collectives += s.Collectives
+		for k := range s.ByKind {
+			t.ByKind[k] += s.ByKind[k]
+		}
 	}
 	return t
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/msa"
+	"repro/internal/telemetry"
 )
 
 // Phase is one stage of a job: a node count plus the runtime it would
@@ -40,6 +41,11 @@ type Job struct {
 type Options struct {
 	// Backfill enables EASY backfilling behind the FCFS head reservation.
 	Backfill bool
+	// Tracer, when non-nil, receives one telemetry.CatPhase span per
+	// executed phase on the hosting module's track, with times taken from
+	// the *simulated* clock (1 simulated second = 1 traced second). The
+	// exported Chrome trace reads as a module-occupancy timeline.
+	Tracer *telemetry.Tracer
 }
 
 // PhaseExec records where and when a phase ran.
@@ -237,7 +243,40 @@ func Simulate(sys *msa.System, jobs []Job, opts Options) Report {
 		rep.PeakNodes[name] = st.peakNodes
 		rep.Capacity[name] = st.capacity
 	}
+	emitPhaseSpans(opts.Tracer, jobs, results, states)
 	return rep
+}
+
+// emitPhaseSpans writes the finished schedule onto the tracer: one track
+// per compute module (sorted by name for stable track ids), one span per
+// executed phase, using the simulated clock.
+func emitPhaseSpans(tr *telemetry.Tracer, jobs []Job, results []JobResult, states map[string]*moduleState) {
+	if tr == nil {
+		return
+	}
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	track := map[string]int{}
+	for i, name := range names {
+		track[name] = i
+		tr.SetTrackName(i, "module "+name)
+	}
+	for ri := range results {
+		job := &jobs[jobIndexByID(jobs, results[ri].JobID)]
+		for _, pe := range results[ri].Phases {
+			ph := job.Phases[pe.PhaseIdx]
+			name := ph.Name
+			if job.Name != "" {
+				name = job.Name + "/" + ph.Name
+			}
+			tr.Emit(track[pe.Module], telemetry.CatPhase, name,
+				int64(pe.Start*1e9), int64((pe.End-pe.Start)*1e9), 0,
+				fmt.Sprintf("job=%d nodes=%d", job.ID, pe.Nodes))
+		}
+	}
 }
 
 // jobIndexByID resolves a job ID to its slice index.

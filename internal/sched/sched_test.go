@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/msa"
+	"repro/internal/telemetry"
 )
 
 // testSystem builds a small 3-module MSA for scheduling tests.
@@ -309,5 +310,52 @@ func TestSchedulerInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSimulateEmitsPhaseSpans checks the module-occupancy trace: every
+// executed phase appears as a CatPhase span on its module's track with
+// simulated-clock times.
+func TestSimulateEmitsPhaseSpans(t *testing.T) {
+	tr := telemetry.NewTracer(0)
+	sys := testSystem(4, 4, 4)
+	jobs := []Job{
+		{ID: 0, Name: "train", Submit: 0, Phases: []Phase{
+			{Name: "etl", Nodes: 2, Runtime: map[msa.ModuleKind]float64{msa.DataAnalytics: 50}},
+			{Name: "dl", Nodes: 2, Runtime: map[msa.ModuleKind]float64{msa.BoosterModule: 100}},
+		}},
+		simpleJob(1, 10, 1, msa.ClusterModule, 30),
+	}
+	rep := Simulate(sys, jobs, Options{Tracer: tr})
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	names := tr.TrackNames()
+	found := map[string]bool{}
+	for _, s := range spans {
+		if s.Cat != telemetry.CatPhase {
+			t.Fatalf("span category %q", s.Cat)
+		}
+		found[s.Name] = true
+		if s.Name == "train/dl" {
+			if names[s.Track] != "module esb" {
+				t.Fatalf("dl phase on track %q", names[s.Track])
+			}
+			if s.Start != int64(50e9) || s.Dur != int64(100e9) {
+				t.Fatalf("dl phase timing: start %d dur %d", s.Start, s.Dur)
+			}
+			if s.Attr != "job=0 nodes=2" {
+				t.Fatalf("dl phase attr %q", s.Attr)
+			}
+		}
+	}
+	for _, want := range []string{"train/etl", "train/dl", "p"} {
+		if !found[want] {
+			t.Fatalf("missing span %q (have %v)", want, found)
+		}
+	}
+	if rep.Makespan != 150 {
+		t.Fatalf("makespan %f", rep.Makespan)
 	}
 }

@@ -2,79 +2,18 @@ package serve
 
 import (
 	"fmt"
-	"math/bits"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// Histogram is a lock-cheap latency histogram: power-of-two microsecond
-// buckets updated with a single atomic add per observation. Quantiles are
-// reconstructed from the bucket counts (resolution is one octave — ample
-// for p50/p95/p99 reporting and regression tracking).
-type Histogram struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sumNs   atomic.Int64
-}
-
-const histBuckets = 48 // bucket i covers [2^(i-1), 2^i) µs — spans ns to years
-
-// Observe records one latency.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	idx := bits.Len64(uint64(us))
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	h.buckets[idx].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(d.Nanoseconds())
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// Mean returns the average observed latency.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sumNs.Load() / n)
-}
-
-// Quantile returns the latency at quantile q in [0,1], estimated as the
-// geometric midpoint of the containing bucket.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(q*float64(n-1)) + 1
-	var cum int64
-	for i := 0; i < histBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= rank {
-			if i == 0 {
-				return 0
-			}
-			// Bucket i covers [2^(i-1), 2^i) µs; midpoint ≈ 1.5·2^(i-1).
-			mid := 3 * (int64(1) << uint(i-1)) / 2
-			return time.Duration(mid) * time.Microsecond
-		}
-	}
-	return time.Duration(3*(int64(1)<<uint(histBuckets-2))/2) * time.Microsecond
-}
+// Histogram is the shared power-of-two latency histogram from the
+// telemetry package (it originated here and was generalized); the alias
+// keeps the serve API unchanged.
+type Histogram = telemetry.Histogram
 
 // metrics is the server's internal counter set. All fields are atomics;
 // the hot path never takes a lock.
@@ -192,6 +131,37 @@ func (s *Server) Snapshot() Snapshot {
 		})
 	}
 	return snap
+}
+
+// RegisterMetrics re-exports the server's live counters, queue gauges,
+// per-replica stats, and the latency histogram through a telemetry
+// registry, so a serving tier scrapes as a normal Prometheus target
+// (reg.Handler() serves the text endpoint). Counters are read at export
+// time — no double bookkeeping on the hot path.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	m := s.metrics
+	counter := func(name string, v *atomic.Int64, labels ...telemetry.Label) {
+		reg.CounterFunc(name, func() float64 { return float64(v.Load()) }, labels...)
+	}
+	reg.SetHelp("msa_serve_requests_total", "requests by terminal outcome")
+	counter("msa_serve_requests_total", &m.arrivals, telemetry.Label{Key: "outcome", Value: "arrived"})
+	counter("msa_serve_requests_total", &m.completed, telemetry.Label{Key: "outcome", Value: "completed"})
+	counter("msa_serve_requests_total", &m.shed, telemetry.Label{Key: "outcome", Value: "shed"})
+	counter("msa_serve_requests_total", &m.rejected, telemetry.Label{Key: "outcome", Value: "rejected"})
+	counter("msa_serve_requests_total", &m.expired, telemetry.Label{Key: "outcome", Value: "expired"})
+	counter("msa_serve_requests_total", &m.failed, telemetry.Label{Key: "outcome", Value: "failed"})
+	counter("msa_serve_retries_total", &m.retries)
+	counter("msa_serve_batches_total", &m.batches)
+	counter("msa_serve_batch_samples_total", &m.batchSamples)
+	reg.GaugeFunc("msa_serve_queue_depth", func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("msa_serve_queue_depth_max", func() float64 { return float64(m.maxQueueDepth.Load()) })
+	reg.AttachHistogram("msa_serve_latency_seconds", &m.latency)
+	for _, r := range s.pool.all {
+		id := telemetry.Label{Key: "replica", Value: strconv.Itoa(r.id)}
+		counter("msa_serve_replica_batches_total", &r.batches, id)
+		counter("msa_serve_replica_samples_total", &r.samples, id)
+		counter("msa_serve_replica_failures_total", &r.failures, id)
+	}
 }
 
 // String renders the snapshot as a small report.

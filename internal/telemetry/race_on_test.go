@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under it.
+const raceEnabled = true

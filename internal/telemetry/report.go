@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline summary: the quick textual answer to "where did the time go"
+// without loading the trace in a UI — per-track communication fraction
+// and the top span categories by total time.
+
+// TrackSummary aggregates one track's spans.
+type TrackSummary struct {
+	Track int
+	Name  string
+	Spans int
+	// Extent is the wall span of the track: last span end − first start.
+	Extent time.Duration
+	// Comm is time in CatComm spans; when a track has none, it falls back
+	// to CatCollective (mpi-level traces without a trainer above them).
+	Comm time.Duration
+	// Step is total time inside CatStep spans.
+	Step time.Duration
+	// CommFraction is Comm/Step when steps were recorded, else
+	// Comm/Extent. It is the per-rank communication share the Horovod
+	// scaling analysis (§III-A) is built on.
+	CommFraction float64
+}
+
+// CategoryTotal is one category's rollup across all tracks. Nested spans
+// each count their own duration, so totals are per-category time, not a
+// partition of wall time.
+type CategoryTotal struct {
+	Cat   Category
+	Total time.Duration
+	Count int
+}
+
+// Summary is the aggregate timeline report.
+type Summary struct {
+	Tracks     []TrackSummary
+	Categories []CategoryTotal // sorted by Total, descending
+	Dropped    int64
+}
+
+// Summarize rolls the tracer's spans up into a Summary. A nil tracer
+// yields an empty summary.
+func Summarize(t *Tracer) *Summary {
+	spans := t.Spans()
+	names := t.TrackNames()
+	byTrack := map[int]*TrackSummary{}
+	byCat := map[Category]*CategoryTotal{}
+	type extent struct{ lo, hi int64 }
+	extents := map[int]*extent{}
+	collective := map[int]time.Duration{}
+	var order []int
+
+	for _, s := range spans {
+		ts := byTrack[s.Track]
+		if ts == nil {
+			ts = &TrackSummary{Track: s.Track, Name: names[s.Track]}
+			byTrack[s.Track] = ts
+			extents[s.Track] = &extent{lo: s.Start, hi: s.End()}
+			order = append(order, s.Track)
+		}
+		ts.Spans++
+		ex := extents[s.Track]
+		if s.Start < ex.lo {
+			ex.lo = s.Start
+		}
+		if s.End() > ex.hi {
+			ex.hi = s.End()
+		}
+		switch s.Cat {
+		case CatComm:
+			ts.Comm += time.Duration(s.Dur)
+		case CatCollective:
+			collective[s.Track] += time.Duration(s.Dur)
+		case CatStep:
+			ts.Step += time.Duration(s.Dur)
+		}
+		ct := byCat[s.Cat]
+		if ct == nil {
+			ct = &CategoryTotal{Cat: s.Cat}
+			byCat[s.Cat] = ct
+		}
+		ct.Total += time.Duration(s.Dur)
+		ct.Count++
+	}
+
+	sum := &Summary{Dropped: t.Dropped()}
+	sort.Ints(order)
+	for _, id := range order {
+		ts := byTrack[id]
+		ts.Extent = time.Duration(extents[id].hi - extents[id].lo)
+		if ts.Comm == 0 {
+			ts.Comm = collective[id]
+		}
+		switch {
+		case ts.Step > 0:
+			ts.CommFraction = float64(ts.Comm) / float64(ts.Step)
+		case ts.Extent > 0:
+			ts.CommFraction = float64(ts.Comm) / float64(ts.Extent)
+		}
+		sum.Tracks = append(sum.Tracks, *ts)
+	}
+	for _, ct := range byCat {
+		sum.Categories = append(sum.Categories, *ct)
+	}
+	sort.Slice(sum.Categories, func(i, j int) bool {
+		if sum.Categories[i].Total != sum.Categories[j].Total {
+			return sum.Categories[i].Total > sum.Categories[j].Total
+		}
+		return sum.Categories[i].Cat < sum.Categories[j].Cat
+	})
+	return sum
+}
+
+// TopCategories returns the k categories with the largest total time.
+func (s *Summary) TopCategories(k int) []CategoryTotal {
+	if k > len(s.Categories) {
+		k = len(s.Categories)
+	}
+	return s.Categories[:k]
+}
+
+// String renders the timeline summary report.
+func (s *Summary) String() string {
+	var b strings.Builder
+	b.WriteString("timeline summary\n")
+	for _, ts := range s.Tracks {
+		name := ts.Name
+		if name == "" {
+			name = fmt.Sprintf("track %d", ts.Track)
+		}
+		fmt.Fprintf(&b, "  %-14s %5d spans  extent %-12s comm %-12s comm-fraction %5.1f%%\n",
+			name, ts.Spans, ts.Extent.Round(time.Microsecond),
+			ts.Comm.Round(time.Microsecond), 100*ts.CommFraction)
+	}
+	if len(s.Categories) > 0 {
+		b.WriteString("  by category:\n")
+		for _, ct := range s.Categories {
+			fmt.Fprintf(&b, "    %-12s %6d spans  total %s\n",
+				ct.Cat, ct.Count, ct.Total.Round(time.Microsecond))
+		}
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(&b, "  (%d spans dropped by ring wrap-around)\n", s.Dropped)
+	}
+	return b.String()
+}
