@@ -21,7 +21,7 @@ import (
 // training loss (sigmoid for multi-label BigEarthNet heads, softmax for
 // single-label). The model must already hold identical parameters on all
 // ranks (e.g. via Trainer's broadcast or nn.LoadParams).
-func DistributedPredict(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, batch int, act nn.Activation) *tensor.Tensor {
+func DistributedPredict(c mpi.Communicator, model *nn.Sequential, xs *tensor.Tensor, batch int, act nn.Activation) *tensor.Tensor {
 	if batch < 1 {
 		panic("distdl: batch must be positive")
 	}
@@ -77,7 +77,7 @@ func DistributedPredict(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, ba
 // every rank. It is DistributedPredict with the scores thrown away (raw
 // logits are exchanged — argmax is activation-invariant — at the cost of
 // an n×classes rather than n-element gather).
-func DistributedArgmax(c *mpi.Comm, model *nn.Sequential, xs *tensor.Tensor, batch int) []int {
+func DistributedArgmax(c mpi.Communicator, model *nn.Sequential, xs *tensor.Tensor, batch int) []int {
 	return DistributedPredict(c, model, xs, batch, nn.ActIdentity).ArgmaxRows()
 }
 

@@ -52,9 +52,11 @@ type Config struct {
 	Tracer *telemetry.Tracer
 }
 
-// Trainer drives one rank's replica.
+// Trainer drives one rank's replica. Comm is an interface so a fault
+// injector (internal/ft) or any other interposer can sit between the
+// trainer and the wire.
 type Trainer struct {
-	Comm  *mpi.Comm
+	Comm  mpi.Communicator
 	Model *nn.Sequential
 	Loss  nn.Loss
 	Opt   nn.Optimizer
@@ -76,7 +78,7 @@ type Trainer struct {
 // NewTrainer wires a replica to its communicator. Parameters are
 // broadcast from rank 0 so every replica starts identical (the Horovod
 // `broadcast_parameters` step).
-func NewTrainer(comm *mpi.Comm, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, cfg Config) *Trainer {
+func NewTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, cfg Config) *Trainer {
 	if cfg.Algo == "" {
 		cfg.Algo = mpi.AlgoRing
 	}
@@ -219,7 +221,12 @@ type trainerSnapshot struct {
 }
 
 // Restore loads a Checkpoint into this trainer. The model must be
-// structurally identical and the optimizer of the same kind.
+// structurally identical and the optimizer of the same kind. The blob is
+// fully validated — parameter count/names/shapes and step monotonicity —
+// before any state is mutated, so a failed Restore leaves the trainer
+// untouched. The world size at restore time is free to differ from the
+// one that wrote the checkpoint: the snapshot is a full replica, which is
+// what lets a fault-tolerant run resume into a smaller elastic world.
 func (t *Trainer) Restore(blob []byte) error {
 	so, ok := t.Opt.(nn.StatefulOptimizer)
 	if !ok {
@@ -228,6 +235,16 @@ func (t *Trainer) Restore(blob []byte) error {
 	var snap trainerSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
 		return fmt.Errorf("distdl: decoding checkpoint: %w", err)
+	}
+	if snap.Step < 0 {
+		return fmt.Errorf("distdl: checkpoint has negative step %d", snap.Step)
+	}
+	if snap.Step < t.step {
+		return fmt.Errorf("distdl: checkpoint step %d is behind trainer step %d: refusing non-monotonic restore",
+			snap.Step, t.step)
+	}
+	if err := nn.ValidateModelBlob(t.Model, snap.Model); err != nil {
+		return fmt.Errorf("distdl: checkpoint incompatible with model: %w", err)
 	}
 	if err := nn.LoadModel(t.Model, snap.Model); err != nil {
 		return err

@@ -18,7 +18,7 @@ import (
 // rank updates its shard, and an allgather restores the full updated
 // parameter vector everywhere.
 type ZeROTrainer struct {
-	Comm  *mpi.Comm
+	Comm  mpi.Communicator
 	Model *nn.Sequential
 	Loss  nn.Loss
 	Cfg   Config
@@ -41,7 +41,7 @@ type ZeROTrainer struct {
 // NewZeROTrainer builds a sharded-optimizer replica. The world size must
 // divide nothing in particular: shards use the same chunking as the ring
 // collectives. Parameters are broadcast from rank 0.
-func NewZeROTrainer(comm *mpi.Comm, model *nn.Sequential, loss nn.Loss, cfg Config) *ZeROTrainer {
+func NewZeROTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, cfg Config) *ZeROTrainer {
 	if cfg.Algo == "" {
 		cfg.Algo = mpi.AlgoRing
 	}

@@ -1,0 +1,427 @@
+package ft
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestPlanValidate(t *testing.T) {
+	ok := &Plan{Events: []Event{
+		{Kind: Crash, Rank: 2, Step: 50},
+		{Kind: Straggle, Rank: 1, Step: 0, Until: 10, PerOp: time.Millisecond},
+	}}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := (*Plan)(nil).Validate(4); err != nil {
+		t.Fatalf("nil plan should validate: %v", err)
+	}
+	bad := map[string]*Plan{
+		"rank out of range": {Events: []Event{{Kind: Crash, Rank: 4, Step: 1}}},
+		"negative rank":     {Events: []Event{{Kind: Crash, Rank: -1, Step: 1}}},
+		"negative step":     {Events: []Event{{Kind: Crash, Rank: 0, Step: -1}}},
+		"until before step": {Events: []Event{{Kind: Straggle, Rank: 0, Step: 5, Until: 3, PerOp: time.Millisecond}}},
+		"negative perop":    {Events: []Event{{Kind: DelayMsg, Rank: 0, Step: 0, PerOp: -time.Millisecond}}},
+		"zero perop":        {Events: []Event{{Kind: Straggle, Rank: 0, Step: 0, PerOp: 0}}},
+		"double crash":      {Events: []Event{{Kind: Crash, Rank: 1, Step: 1}, {Kind: Crash, Rank: 1, Step: 2}}},
+		"all ranks crash": {Events: []Event{
+			{Kind: Crash, Rank: 0, Step: 1}, {Kind: Crash, Rank: 1, Step: 1},
+			{Kind: Crash, Rank: 2, Step: 1}, {Kind: Crash, Rank: 3, Step: 1}}},
+	}
+	for name, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}
+
+func TestPlanCrashStepAndString(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Crash, Rank: 2, Step: 50}}}
+	if s, ok := p.CrashStep(2); !ok || s != 50 {
+		t.Fatalf("CrashStep(2) = %d, %v", s, ok)
+	}
+	if _, ok := p.CrashStep(1); ok {
+		t.Fatal("rank 1 has no crash")
+	}
+	if got := p.String(); !strings.Contains(got, "crash rank 2 at step 50") {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (*Plan)(nil).String(); got != "no faults" {
+		t.Fatalf("nil plan String() = %q", got)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a, err := RandomPlan(7, 8, 10, 100, 2, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomPlan(7, 8, 10, 100, 2, 1, time.Millisecond)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	c, _ := RandomPlan(8, 8, 10, 100, 2, 1, time.Millisecond)
+	if a.String() == c.String() {
+		t.Fatal("different seeds should give different plans")
+	}
+	if err := a.Validate(8); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	// Crash targets and straggle targets must not overlap.
+	crashed := map[int]bool{}
+	for _, e := range a.Events {
+		if e.Kind == Crash {
+			crashed[e.Rank] = true
+		}
+	}
+	for _, e := range a.Events {
+		if e.Kind == Straggle && crashed[e.Rank] {
+			t.Fatalf("rank %d both crashes and straggles", e.Rank)
+		}
+	}
+	if _, err := RandomPlan(1, 4, 10, 100, 4, 0, 0); err == nil {
+		t.Fatal("crashing all ranks must be rejected")
+	}
+	if _, err := RandomPlan(1, 4, 100, 100, 1, 0, 0); err == nil {
+		t.Fatal("empty step range must be rejected")
+	}
+}
+
+func TestInjectorCrashFires(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Crash, Rank: 3, Step: 5}}}
+	w := mpi.NewWorld(1)
+	inj := p.Wrap(w.Comm(0), 3)
+	for s := 0; s < 5; s++ {
+		inj.AtStep(s) // must not fire early
+	}
+	defer func() {
+		f, ok := AsRankFailure(recover())
+		if !ok {
+			t.Fatal("expected a RankFailure panic")
+		}
+		if f.Rank != 3 || f.Step != 5 {
+			t.Fatalf("failure = %+v", f)
+		}
+		if !strings.Contains(f.Error(), "rank 3") {
+			t.Fatalf("error = %q", f.Error())
+		}
+	}()
+	inj.AtStep(5)
+}
+
+func TestInjectorIgnoresOtherRanks(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Crash, Rank: 3, Step: 5}}}
+	w := mpi.NewWorld(1)
+	inj := p.Wrap(w.Comm(0), 0) // same plan, different rank
+	for s := 0; s < 100; s++ {
+		inj.AtStep(s)
+	}
+	if inj.GlobalRank() != 0 {
+		t.Fatalf("GlobalRank = %d", inj.GlobalRank())
+	}
+}
+
+func TestInjectorStraggleDelaysCollectives(t *testing.T) {
+	delay := 30 * time.Millisecond
+	p := &Plan{Events: []Event{{Kind: Straggle, Rank: 0, Step: 2, Until: 2, PerOp: delay}}}
+	w := mpi.NewWorld(1)
+	inj := p.Wrap(w.Comm(0), 0)
+
+	inj.AtStep(1) // outside the window: fast
+	t0 := time.Now()
+	inj.Barrier()
+	if d := time.Since(t0); d > delay/2 {
+		t.Fatalf("barrier outside straggle window took %v", d)
+	}
+	inj.AtStep(2) // inside: throttled
+	t0 = time.Now()
+	inj.Barrier()
+	if d := time.Since(t0); d < delay {
+		t.Fatalf("straggled barrier took only %v, want >= %v", d, delay)
+	}
+	inj.AtStep(3) // past Until: fast again
+	t0 = time.Now()
+	inj.Barrier()
+	if d := time.Since(t0); d > delay/2 {
+		t.Fatalf("barrier after straggle window took %v", d)
+	}
+}
+
+func TestInjectorIsTransparent(t *testing.T) {
+	// A wrapped communicator must behave exactly like the raw one for a
+	// fault-free rank: run a small allreduce through injectors.
+	p := &Plan{} // no events
+	w := mpi.NewWorld(3)
+	err := w.Run(func(c *mpi.Comm) error {
+		inj := p.Wrap(c, c.Rank())
+		got := inj.AllreduceScalar(float64(c.Rank()), mpi.OpSum)
+		if got != 3 { // 0+1+2
+			t.Errorf("allreduce through injector = %v", got)
+		}
+		if inj.Rank() != c.Rank() || inj.Size() != 3 {
+			t.Errorf("rank/size not delegated")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorSuspectDead(t *testing.T) {
+	m := NewMonitor([]int{0, 1, 2, 3})
+	// Startup: everyone at step -1, however stale — nobody is behind the
+	// frontier, so nobody is suspected.
+	time.Sleep(20 * time.Millisecond)
+	if got := m.SuspectDead(time.Millisecond); len(got) != 0 {
+		t.Fatalf("startup false positive: %v", got)
+	}
+	// Ranks 0,1,3 advance; rank 2 stays silent.
+	for _, r := range []int{0, 1, 3} {
+		m.Beat(r, 50)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// All are stale now, but only rank 2 is behind the frontier.
+	if got := m.Stale(time.Millisecond); len(got) != 4 {
+		t.Fatalf("Stale = %v, want all 4", got)
+	}
+	got := m.SuspectDead(time.Millisecond)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("SuspectDead = %v, want [2]", got)
+	}
+	// Fresh beats clear suspicion.
+	if got := m.SuspectDead(time.Hour); len(got) != 0 {
+		t.Fatalf("nothing should be stale within an hour: %v", got)
+	}
+	// A finished rank is never suspected even when behind and stale.
+	m.Done(2)
+	time.Sleep(20 * time.Millisecond)
+	if got := m.SuspectDead(time.Millisecond); len(got) != 0 {
+		t.Fatalf("done rank suspected: %v", got)
+	}
+	if m.AllDone() {
+		t.Fatal("not all ranks are done")
+	}
+	for _, r := range []int{0, 1, 3} {
+		m.Done(r)
+	}
+	if !m.AllDone() {
+		t.Fatal("all ranks are done")
+	}
+	if m.LastStep(0) != 50 || m.LastStep(2) != -1 {
+		t.Fatalf("LastStep: %d, %d", m.LastStep(0), m.LastStep(2))
+	}
+}
+
+func TestStepBatchPartition(t *testing.T) {
+	const n, globalBatch = 256, 32
+	for _, alive := range []int{1, 2, 3, 4} {
+		seen := map[int]bool{}
+		total := 0
+		for pos := 0; pos < alive; pos++ {
+			for _, i := range StepBatch(n, 42, 7, globalBatch, pos, alive) {
+				if seen[i] {
+					t.Fatalf("alive=%d: index %d assigned twice", alive, i)
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		if total != globalBatch {
+			t.Fatalf("alive=%d: covered %d of %d", alive, total, globalBatch)
+		}
+	}
+}
+
+func TestStepBatchGlobalBatchInvariant(t *testing.T) {
+	// The union of all survivors' slices at a step must be the same sample
+	// set regardless of how many survivors share it — the elastic-shrink
+	// invariant that keeps recovery comparable to failure-free training.
+	const n, globalBatch = 256, 32
+	gather := func(alive int) map[int]bool {
+		s := map[int]bool{}
+		for pos := 0; pos < alive; pos++ {
+			for _, i := range StepBatch(n, 42, 13, globalBatch, pos, alive) {
+				s[i] = true
+			}
+		}
+		return s
+	}
+	four, three := gather(4), gather(3)
+	if len(four) != len(three) {
+		t.Fatalf("global batch changed size: %d vs %d", len(four), len(three))
+	}
+	for i := range four {
+		if !three[i] {
+			t.Fatalf("sample %d in 4-rank batch but not 3-rank batch", i)
+		}
+	}
+	// Different steps draw different batches.
+	other := gather(4)
+	next := map[int]bool{}
+	for pos := 0; pos < 4; pos++ {
+		for _, i := range StepBatch(n, 42, 14, globalBatch, pos, 4) {
+			next[i] = true
+		}
+	}
+	same := true
+	for i := range other {
+		if !next[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("consecutive steps drew identical batches")
+	}
+}
+
+func TestStepBatchEpochWraps(t *testing.T) {
+	const n, globalBatch = 64, 32 // 2 steps per epoch
+	if StepsPerEpoch(n, globalBatch) != 2 {
+		t.Fatal("expected 2 steps per epoch")
+	}
+	// Steps 0..1 cover epoch 0; steps 2..3 reshuffle. Union of each
+	// epoch's steps must cover the dataset slice used.
+	epoch0 := map[int]bool{}
+	for s := 0; s < 2; s++ {
+		for _, i := range StepBatch(n, 9, s, globalBatch, 0, 1) {
+			epoch0[i] = true
+		}
+	}
+	if len(epoch0) != 64 {
+		t.Fatalf("epoch 0 covered %d of 64 samples", len(epoch0))
+	}
+}
+
+func TestWeightedStepBatchApportion(t *testing.T) {
+	counts := apportion(32, []float64{1, 1, 0.5})
+	if counts[0]+counts[1]+counts[2] != 32 {
+		t.Fatalf("apportion sum %v", counts)
+	}
+	if counts[2] >= counts[0] {
+		t.Fatalf("half-weight rank got %d >= %d", counts[2], counts[0])
+	}
+	// Non-positive weights fall back to equal shares.
+	eq := apportion(10, []float64{1, 0, 1})
+	if eq[0]+eq[1]+eq[2] != 10 {
+		t.Fatalf("fallback sum %v", eq)
+	}
+	if eq[1] == 0 {
+		t.Fatalf("fallback should not starve any rank: %v", eq)
+	}
+	// Weighted slices still partition the global batch.
+	w := []float64{1, 0.5, 1}
+	seen := map[int]bool{}
+	total := 0
+	for pos := range w {
+		for _, i := range WeightedStepBatch(256, 42, 3, 32, pos, w) {
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != 32 {
+		t.Fatalf("weighted batch covered %d of 32", total)
+	}
+}
+
+func TestStepBatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad pos":       func() { StepBatch(100, 1, 0, 10, 5, 2) },
+		"zero batch":    func() { StepBatch(100, 1, 0, 0, 0, 1) },
+		"batch too big": func() { StepBatch(100, 1, 0, 101, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCheckpointNaming(t *testing.T) {
+	name := checkpointName("ft", 42)
+	if name != "ft-0000000042" {
+		t.Fatalf("name = %q", name)
+	}
+	if s, ok := checkpointStep("ft", name); !ok || s != 42 {
+		t.Fatalf("parse = %d, %v", s, ok)
+	}
+	for _, bad := range []string{"ft-42", "other-0000000042", "ft-00000000xx", "ft"} {
+		if _, ok := checkpointStep("ft", bad); ok {
+			t.Errorf("%q should not parse", bad)
+		}
+	}
+}
+
+func TestLatestCheckpointAndPrune(t *testing.T) {
+	st := NewMemStore()
+	if _, _, ok, err := LatestCheckpoint(st, "ft"); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	for _, step := range []int{20, 40, 60} {
+		if err := st.SaveBlob(checkpointName("ft", step), []byte{byte(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A foreign blob in the store must not confuse the series.
+	if err := st.SaveBlob("unrelated", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	blob, step, ok, err := LatestCheckpoint(st, "ft")
+	if err != nil || !ok || step != 60 || blob[0] != 60 {
+		t.Fatalf("latest = step %d ok=%v err=%v", step, ok, err)
+	}
+	if err := pruneCheckpoints(st, "ft", 2); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := st.List()
+	want := map[string]bool{"ft-0000000040": true, "ft-0000000060": true, "unrelated": true}
+	if len(names) != 3 {
+		t.Fatalf("after prune: %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected survivor %q in %v", n, names)
+		}
+	}
+	// Retain 0 keeps everything.
+	if err := pruneCheckpoints(st, "ft", 0); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ = st.List(); len(names) != 3 {
+		t.Fatalf("retain 0 pruned: %v", names)
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	st := NewMemStore()
+	payload := []byte{1, 2, 3}
+	if err := st.SaveBlob("a", payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 99 // caller mutation must not reach the store
+	got, err := st.Blob("a")
+	if err != nil || got[0] != 1 {
+		t.Fatalf("store aliased caller slice: %v %v", got, err)
+	}
+	got[1] = 99 // reader mutation must not reach the store
+	again, _ := st.Blob("a")
+	if again[1] != 2 {
+		t.Fatal("store aliased reader slice")
+	}
+	if _, err := st.Blob("missing"); err == nil {
+		t.Fatal("missing blob should error")
+	}
+	if err := st.Delete("missing"); err == nil {
+		t.Fatal("missing delete should error")
+	}
+}

@@ -1,0 +1,89 @@
+package ft
+
+import (
+	"testing"
+
+	"repro/internal/msa"
+	"repro/internal/storage"
+)
+
+func placementPlan() storage.CheckpointPlan {
+	return storage.CheckpointPlan{Nodes: 16, StateGBNode: 4, IntervalSec: 600, Checkpoints: 10, StripePerJob: 4}
+}
+
+func TestAdviseCheckpointPlacementDEEP(t *testing.T) {
+	// DEEP has both an SSSM and a NAM; the NAM's memory-speed burst should
+	// win for this plan, and both targets must carry Daly-optimal
+	// intervals consistent with their stalls.
+	adv, err := AdviseCheckpointPlacement(msa.DEEP(), placementPlan(), 4*3600, 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.SSSM == nil || adv.NAM == nil {
+		t.Fatalf("both targets expected: %+v", adv)
+	}
+	if adv.NAM.StallSec >= adv.SSSM.StallSec {
+		t.Fatalf("NAM stall %.3fs should beat SSSM %.3fs", adv.NAM.StallSec, adv.SSSM.StallSec)
+	}
+	if adv.Best != adv.NAM {
+		t.Fatalf("best should be via-nam, got %q", adv.Best.Target)
+	}
+	// A cheaper stall supports a shorter interval (more frequent
+	// checkpoints) and lower total waste.
+	if adv.NAM.IntervalSec >= adv.SSSM.IntervalSec {
+		t.Fatalf("intervals: nam %.1fs vs sssm %.1fs", adv.NAM.IntervalSec, adv.SSSM.IntervalSec)
+	}
+	if adv.NAM.WasteFrac >= adv.SSSM.WasteFrac {
+		t.Fatalf("waste: nam %.4f vs sssm %.4f", adv.NAM.WasteFrac, adv.SSSM.WasteFrac)
+	}
+	if adv.NAM.IntervalSteps <= 0 {
+		t.Fatalf("IntervalSteps = %d", adv.NAM.IntervalSteps)
+	}
+}
+
+func TestAdviseCheckpointPlacementSSSMOnly(t *testing.T) {
+	// JUWELS models no NAM module: the advice degrades to the SSSM alone.
+	adv, err := AdviseCheckpointPlacement(msa.JUWELS(), placementPlan(), 4*3600, 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.NAM != nil {
+		t.Fatalf("JUWELS should have no NAM target: %+v", adv.NAM)
+	}
+	if adv.Best == nil || adv.Best != adv.SSSM {
+		t.Fatalf("best should be the SSSM, got %+v", adv.Best)
+	}
+}
+
+func TestAdviseCheckpointPlacementOversizedNAM(t *testing.T) {
+	// A checkpoint bigger than the NAM silently drops the NAM target (the
+	// SSSM advice stands) rather than failing the whole analysis.
+	p := placementPlan()
+	p.Nodes = 1024 // 4 TB per checkpoint > DEEP's 2 TB NAM
+	adv, err := AdviseCheckpointPlacement(msa.DEEP(), p, 4*3600, 30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.NAM != nil {
+		t.Fatalf("oversized plan should disqualify the NAM: %+v", adv.NAM)
+	}
+	if adv.Best != adv.SSSM {
+		t.Fatal("SSSM advice should stand")
+	}
+}
+
+func TestAdviseCheckpointPlacementErrors(t *testing.T) {
+	if _, err := AdviseCheckpointPlacement(nil, placementPlan(), 3600, 30, 0.5); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := AdviseCheckpointPlacement(msa.DEEP(), placementPlan(), 0, 30, 0.5); err == nil {
+		t.Fatal("zero MTBF accepted")
+	}
+	if _, err := AdviseCheckpointPlacement(msa.DEEP(), placementPlan(), 3600, 30, 0); err == nil {
+		t.Fatal("zero step time accepted")
+	}
+	bare := &msa.System{Name: "bare"}
+	if _, err := AdviseCheckpointPlacement(bare, placementPlan(), 3600, 30, 0.5); err == nil {
+		t.Fatal("system without storage modules accepted")
+	}
+}

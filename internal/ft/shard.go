@@ -1,0 +1,107 @@
+package ft
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Elastic re-sharding. After a shrink the surviving ranks must cover the
+// same global batch the full world did — otherwise the effective batch
+// size (and therefore the gradient noise scale and the reproducibility of
+// the loss trajectory) changes under the user's feet. We therefore fix the
+// *global* step batch at initialWorld×batchSize and carve each step's
+// slice among however many ranks are currently alive.
+//
+// Sample selection is a pure function of (epochSeed, step): every
+// incarnation — and every re-run of the same fault plan — draws the same
+// global batch at the same step, which is what makes crash-recovery runs
+// bit-comparable to failure-free ones.
+
+// StepBatch returns the index slice of the global batch for `step` owned
+// by survivor `pos` of `alive` (equal shares). n is the dataset size,
+// globalBatch the fixed initialWorld×batchSize product. Steps wrap into
+// epochs: each epoch reshuffles [0,n) with epochSeed+epoch, exactly like
+// distdl.Shard, and holds stepsPerEpoch = n/globalBatch steps (the short
+// tail is dropped to keep every step's batch full-size).
+func StepBatch(n int, epochSeed int64, step, globalBatch, pos, alive int) []int {
+	return WeightedStepBatch(n, epochSeed, step, globalBatch, pos, uniformWeights(alive))
+}
+
+// WeightedStepBatch is StepBatch with explicit per-survivor weights: the
+// global batch is apportioned proportionally (largest-remainder), so a
+// straggler-aware policy can hand slow ranks fewer samples per step while
+// the global batch stays intact. len(weights) is the live world size; pos
+// indexes into it.
+func WeightedStepBatch(n int, epochSeed int64, step, globalBatch int, pos int, weights []float64) []int {
+	alive := len(weights)
+	if alive == 0 || pos < 0 || pos >= alive {
+		panic(fmt.Sprintf("ft: survivor pos %d out of [0,%d)", pos, alive))
+	}
+	if globalBatch <= 0 || globalBatch > n {
+		panic(fmt.Sprintf("ft: global batch %d out of (0,%d]", globalBatch, n))
+	}
+	stepsPerEpoch := n / globalBatch
+	epoch := step / stepsPerEpoch
+	pos0 := (step % stepsPerEpoch) * globalBatch
+	perm := rand.New(rand.NewSource(epochSeed + int64(epoch))).Perm(n)
+	batch := perm[pos0 : pos0+globalBatch]
+	counts := apportion(globalBatch, weights)
+	lo := 0
+	for i := 0; i < pos; i++ {
+		lo += counts[i]
+	}
+	return batch[lo : lo+counts[pos]]
+}
+
+// apportion splits total into len(weights) non-negative integer shares
+// proportional to the weights, summing exactly to total, via the
+// largest-remainder method. Zero/negative weights are treated as equal
+// shares (a rank with no pace estimate yet gets an average slice). Ties on
+// remainders break by lower index, so the split is deterministic.
+func apportion(total int, weights []float64) []int {
+	k := len(weights)
+	sum := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			return apportion(total, uniformWeights(k))
+		}
+		sum += w
+	}
+	counts := make([]int, k)
+	rems := make([]float64, k)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		counts[i] = int(exact)
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < k; i++ {
+			if rems[i] > rems[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rems[best] = -1
+		assigned++
+	}
+	return counts
+}
+
+func uniformWeights(k int) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// StepsPerEpoch returns how many full global batches one epoch holds.
+func StepsPerEpoch(n, globalBatch int) int {
+	if globalBatch <= 0 || globalBatch > n {
+		panic(fmt.Sprintf("ft: global batch %d out of (0,%d]", globalBatch, n))
+	}
+	return n / globalBatch
+}

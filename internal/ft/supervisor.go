@@ -1,0 +1,527 @@
+package ft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/distdl"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Job describes one elastic data-parallel training run.
+type Job struct {
+	// NewModel builds a fresh replica. It must be deterministic across
+	// calls and across process runs (fixed-seed initialization): replicas
+	// are aligned by a rank-0 broadcast at start-up, but run-to-run
+	// reproducibility — the property the determinism tests assert — needs
+	// the factory itself to be a pure function.
+	NewModel func() *nn.Sequential
+	// NewOpt builds the per-replica optimizer; it must return an
+	// nn.StatefulOptimizer, since recovery restores optimizer state.
+	NewOpt func() nn.Optimizer
+	Loss   nn.Loss
+	// Xs, Ys hold the full dataset, samples along dim 0.
+	Xs, Ys *tensor.Tensor
+	// Ranks is the initial world size; BatchSize the per-rank minibatch at
+	// full strength. Their product is the global batch, which stays fixed
+	// when the world shrinks.
+	Ranks     int
+	BatchSize int
+	// Steps is the target optimizer step count.
+	Steps int
+	// EpochSeed seeds the per-epoch shuffles (see StepBatch).
+	EpochSeed int64
+	// Cfg is passed through to the distdl trainers.
+	Cfg distdl.Config
+}
+
+// StragglerPolicy controls straggler-aware re-sharding at recovery
+// boundaries. Disabled by default: re-weighting derives from measured
+// step pace, which is wall-clock and therefore breaks bit-determinism —
+// opt in only when throughput matters more than replayability.
+type StragglerPolicy struct {
+	Enabled bool
+	// Quantum is the weight quantization step (default 0.25): measured
+	// paces are noisy, so weights snap to multiples of the quantum and a
+	// rank never drops below one quantum of the average share.
+	Quantum float64
+}
+
+// Options tunes the supervisor.
+type Options struct {
+	// Plan is the fault schedule to run under (nil: failure-free).
+	Plan *Plan
+	// Checkpoint configures coordinated checkpoints.
+	Checkpoint CheckpointConfig
+	// Store persists checkpoints; defaults to an in-memory MemStore. Use
+	// *storage.ModelStore for durable SSSM-style placement.
+	Store BlobStore
+	// HeartbeatTimeout is how stale a rank's beat must be before it can be
+	// suspected (default 2s; tests shrink it).
+	HeartbeatTimeout time.Duration
+	// PollInterval is the failure detector's check period (default 20ms).
+	PollInterval time.Duration
+	// Straggler enables pace-weighted re-sharding after recoveries.
+	Straggler StragglerPolicy
+	// Tracer, when set, receives checkpoint and recovery spans (plus the
+	// per-step spans the trainers emit via Job.Cfg.Tracer if configured).
+	Tracer *telemetry.Tracer
+	// Metrics, when set, receives ft_* counters and gauges.
+	Metrics *telemetry.Registry
+	// Logf, when set, additionally receives each Report.Log line as it is
+	// emitted (e.g. log.Printf). The Report always collects them.
+	Logf func(format string, args ...any)
+}
+
+// Failure records one detected rank death and its recovery accounting.
+type Failure struct {
+	Rank         int // global rank that died
+	DetectedStep int // step the survivors had reached when detection fired
+	RestoredStep int // checkpoint step the next incarnation resumed from
+	LostSteps    int // DetectedStep - RestoredStep: work to re-execute
+	// Recovery is the measured wall time from detection until every
+	// survivor of the next incarnation was restored and ready to train.
+	// Wall-clock, so it is reported here and in metrics but never in the
+	// deterministic Log.
+	Recovery time.Duration
+}
+
+// Report summarizes a supervised run.
+type Report struct {
+	Incarnations int   // worlds built (1 = failure-free)
+	Survivors    []int // global ranks alive at the end
+	Failures     []Failure
+	LostSteps    int // total re-executed steps across recoveries
+	Checkpoints  int // coordinated checkpoints written
+	// CheckpointBytes is the size of the last checkpoint blob;
+	// CheckpointDurations the measured serialize+write stall per
+	// checkpoint — the δ the Young/Daly interval model wants.
+	CheckpointBytes     int64
+	CheckpointDurations []time.Duration
+	FinalStep           int
+	FinalLoss           float64
+	ParamsInSync        bool // post-recovery invariant: replicas bit-identical
+	// FinalParams is the flattened parameter vector of survivor 0 at the
+	// end — the determinism tests compare it across runs.
+	FinalParams []float64
+	// Log is the deterministic event log: no wall-clock content, so two
+	// runs of the same job+plan produce identical logs.
+	Log []string
+	// TotalRecovery sums Failure.Recovery (wall-clock).
+	TotalRecovery time.Duration
+}
+
+// Supervisor runs a Job under a fault Plan with coordinated
+// checkpoint/restart and elastic shrink-on-failure recovery.
+type Supervisor struct {
+	job Job
+	opt Options
+
+	mu  sync.Mutex
+	rep Report
+	// lastDetect carries the detection wall time of the most recent
+	// failure into the next incarnation, where the matching ready time
+	// becomes known and the Failure.Recovery duration can be closed out.
+	lastDetect time.Time
+}
+
+// NewSupervisor validates the job and options and prepares a run.
+func NewSupervisor(job Job, opt Options) (*Supervisor, error) {
+	if job.NewModel == nil || job.NewOpt == nil || job.Loss == nil {
+		return nil, fmt.Errorf("ft: job needs NewModel, NewOpt, and Loss")
+	}
+	if job.Xs == nil || job.Ys == nil {
+		return nil, fmt.Errorf("ft: job needs a dataset")
+	}
+	if job.Xs.Shape()[0] != job.Ys.Shape()[0] {
+		return nil, fmt.Errorf("ft: dataset size mismatch: %d xs vs %d ys", job.Xs.Shape()[0], job.Ys.Shape()[0])
+	}
+	if job.Ranks < 1 || job.BatchSize < 1 || job.Steps < 1 {
+		return nil, fmt.Errorf("ft: need positive Ranks/BatchSize/Steps, got %d/%d/%d", job.Ranks, job.BatchSize, job.Steps)
+	}
+	n := job.Xs.Shape()[0]
+	if g := job.Ranks * job.BatchSize; g > n {
+		return nil, fmt.Errorf("ft: global batch %d exceeds dataset size %d", g, n)
+	}
+	if _, ok := job.NewOpt().(nn.StatefulOptimizer); !ok {
+		return nil, fmt.Errorf("ft: optimizer %s is not stateful — recovery cannot restore it", job.NewOpt().Name())
+	}
+	if err := opt.Plan.Validate(job.Ranks); err != nil {
+		return nil, err
+	}
+	if opt.Store == nil {
+		opt.Store = NewMemStore()
+	}
+	if opt.HeartbeatTimeout <= 0 {
+		opt.HeartbeatTimeout = 2 * time.Second
+	}
+	if opt.PollInterval <= 0 {
+		opt.PollInterval = 20 * time.Millisecond
+	}
+	if opt.Straggler.Quantum <= 0 {
+		opt.Straggler.Quantum = 0.25
+	}
+	return &Supervisor{job: job, opt: opt}, nil
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.rep.Log = append(s.rep.Log, line)
+	s.mu.Unlock()
+	if s.opt.Logf != nil {
+		s.opt.Logf("%s", line)
+	}
+}
+
+func (s *Supervisor) counter(name string) *telemetry.Counter {
+	if s.opt.Metrics == nil {
+		return nil
+	}
+	return s.opt.Metrics.Counter(name)
+}
+
+func addCounter(c *telemetry.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// Run executes the job to completion, surviving every crash the plan
+// scripts, and returns the accounting report. The returned Report.Log,
+// FinalParams, LostSteps, and Failures (minus wall-clock Recovery values)
+// are deterministic functions of (Job, Plan).
+func (s *Supervisor) Run() (*Report, error) {
+	alive := make([]int, s.job.Ranks)
+	for i := range alive {
+		alive[i] = i
+	}
+	weights := uniformWeights(len(alive))
+	var restoreBlob []byte
+	restoreStep := 0
+	maxInc := 2
+	if s.opt.Plan != nil {
+		for _, e := range s.opt.Plan.Events {
+			if e.Kind == Crash {
+				maxInc++
+			}
+		}
+	}
+	s.logf("plan: %s", s.opt.Plan.String())
+	for inc := 0; ; inc++ {
+		if inc >= maxInc {
+			return nil, fmt.Errorf("ft: %d incarnations without completing — supervisor is not converging", inc)
+		}
+		s.logf("incarnation %d: ranks %v from step %d", inc, alive, restoreStep)
+		res := s.runIncarnation(inc, alive, weights, restoreBlob, restoreStep)
+		if res.err != nil {
+			return nil, res.err
+		}
+		// Close out the previous recovery's timing: it ends when this
+		// incarnation's ranks all reported ready.
+		s.mu.Lock()
+		for i := range s.rep.Failures {
+			if s.rep.Failures[i].Recovery == 0 {
+				s.rep.Failures[i].Recovery = res.readyAt.Sub(s.lastDetect)
+			}
+		}
+		s.mu.Unlock()
+
+		if len(res.dead) == 0 {
+			s.logf("incarnation %d: completed at step %d, ranks %v, params in sync: %v",
+				inc, res.finalStep, alive, res.inSync)
+			s.mu.Lock()
+			rep := &s.rep
+			rep.Incarnations = inc + 1
+			rep.Survivors = append([]int(nil), alive...)
+			rep.FinalStep = res.finalStep
+			rep.FinalLoss = res.finalLoss
+			rep.ParamsInSync = res.inSync
+			rep.FinalParams = res.params
+			for _, f := range rep.Failures {
+				rep.TotalRecovery += f.Recovery
+			}
+			s.mu.Unlock()
+			if g := s.opt.Metrics; g != nil {
+				g.Gauge("ft_lost_steps").Set(float64(s.rep.LostSteps))
+				g.Gauge("ft_incarnations").Set(float64(s.rep.Incarnations))
+			}
+			out := s.rep
+			return &out, nil
+		}
+
+		// Recovery: shrink the world to the survivors and resume from the
+		// newest coordinated checkpoint.
+		addCounter(s.counter("ft_failures_total"), int64(len(res.dead)))
+		survivors := exclude(alive, res.dead)
+		if len(survivors) == 0 {
+			return nil, fmt.Errorf("ft: all ranks dead at step %d — nothing to recover with", res.stallStep)
+		}
+		blob, ckptStep, ok, err := LatestCheckpoint(s.opt.Store, s.opt.Checkpoint.prefix())
+		if err != nil {
+			return nil, fmt.Errorf("ft: reading checkpoints during recovery: %w", err)
+		}
+		if !ok {
+			blob, ckptStep = nil, 0 // no checkpoint yet: restart from scratch
+		}
+		incidentLost := res.stallStep - ckptStep
+		s.mu.Lock()
+		for _, gid := range res.dead {
+			s.rep.Failures = append(s.rep.Failures, Failure{
+				Rank: gid, DetectedStep: res.stallStep, RestoredStep: ckptStep, LostSteps: incidentLost,
+			})
+		}
+		// One incident loses incidentLost steps regardless of how many
+		// ranks died in it, so the total is tracked per incident.
+		s.rep.LostSteps += incidentLost
+		s.lastDetect = res.detectedAt
+		s.mu.Unlock()
+		addCounter(s.counter("ft_recoveries_total"), 1)
+		s.logf("incarnation %d: recovering — survivors %v resume from checkpoint step %d (lost %d steps)",
+			inc, survivors, ckptStep, res.stallStep-ckptStep)
+		if s.opt.Tracer != nil {
+			s.opt.Tracer.Emit(s.job.Ranks, telemetry.CatRecovery,
+				fmt.Sprintf("recover-%d", inc), res.traceStart, 0, 0,
+				fmt.Sprintf("dead %v", res.dead))
+		}
+		if s.opt.Straggler.Enabled {
+			weights = stragglerWeights(res.pace, survivors, s.opt.Straggler)
+			s.logf("incarnation %d: straggler-aware shares %v for ranks %v", inc, weights, survivors)
+		} else {
+			weights = uniformWeights(len(survivors))
+		}
+		alive, restoreBlob, restoreStep = survivors, blob, ckptStep
+	}
+}
+
+type incResult struct {
+	err        error
+	dead       []int // global ranks that died this incarnation
+	stallStep  int   // survivors' frontier step at detection
+	detectedAt time.Time
+	traceStart int64 // tracer timestamp at detection
+	readyAt    time.Time
+	pace       map[int]float64 // per-rank mean ns/step (straggler policy input)
+	finalLoss  float64
+	inSync     bool
+	finalStep  int
+	params     []float64
+}
+
+func (s *Supervisor) runIncarnation(inc int, alive []int, weights []float64, restoreBlob []byte, restoreStep int) incResult {
+	n := s.job.Xs.Shape()[0]
+	globalBatch := s.job.Ranks * s.job.BatchSize
+	world := mpi.NewWorld(len(alive))
+	mon := NewMonitor(alive)
+	start := time.Now()
+	res := incResult{stallStep: -1}
+	var resMu sync.Mutex
+
+	var readyWG sync.WaitGroup
+	readyWG.Add(len(alive))
+	readyCh := make(chan time.Time, 1)
+	go func() { readyWG.Wait(); readyCh <- time.Now() }()
+
+	// Failure detector: poll heartbeats; on suspicion, record the death,
+	// log deterministically (no wall times), and revoke the world so the
+	// survivors blocked in collectives with the dead peer unwind.
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		tick := time.NewTicker(s.opt.PollInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-tick.C:
+				suspects := mon.SuspectDead(s.opt.HeartbeatTimeout)
+				if len(suspects) == 0 {
+					continue
+				}
+				stall := -1
+				for _, gid := range alive {
+					if !containsInt(suspects, gid) && mon.LastStep(gid) > stall {
+						stall = mon.LastStep(gid)
+					}
+				}
+				resMu.Lock()
+				res.dead = append([]int(nil), suspects...)
+				res.stallStep = stall
+				res.detectedAt = time.Now()
+				res.traceStart = s.opt.Tracer.Start()
+				res.pace = mon.MeanStepNs(start)
+				resMu.Unlock()
+				s.logf("incarnation %d: heartbeat detector suspects ranks %v dead (survivor frontier step %d); revoking world",
+					inc, suspects, stall)
+				world.Revoke(fmt.Sprintf("ranks %v suspected dead at step %d", suspects, stall))
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for pos, gid := range alive {
+		wg.Add(1)
+		go func(pos, gid int) {
+			defer wg.Done()
+			var once sync.Once
+			ready := func() { once.Do(readyWG.Done) }
+			defer ready()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, ok := AsRankFailure(r); ok {
+					return // scripted fail-stop: detection is the monitor's job
+				}
+				if _, ok := mpi.AsRevoked(r); ok {
+					return // survivor unwound from a revoked collective
+				}
+				resMu.Lock()
+				if res.err == nil {
+					res.err = fmt.Errorf("ft: rank %d (incarnation %d) panicked: %v", gid, inc, r)
+				}
+				resMu.Unlock()
+				world.Revoke(fmt.Sprintf("rank %d panicked: %v", gid, r))
+			}()
+
+			inj := s.opt.Plan.Wrap(world.Comm(pos), gid)
+			trainer := distdl.NewTrainer(inj, s.job.NewModel(), s.job.Loss, s.job.NewOpt(), s.job.Cfg)
+			if restoreBlob != nil {
+				if err := trainer.Restore(restoreBlob); err != nil {
+					resMu.Lock()
+					if res.err == nil {
+						res.err = fmt.Errorf("ft: rank %d restore: %w", gid, err)
+					}
+					resMu.Unlock()
+					world.Revoke("restore failed")
+					return
+				}
+			}
+			ready()
+
+			lastLoss := 0.0
+			for step := trainer.StepCount(); step < s.job.Steps; step++ {
+				// Crash before the beat: a dead rank's last beat is then
+				// strictly behind the survivors' frontier, which is what
+				// makes SuspectDead exact and deterministic.
+				inj.AtStep(step)
+				mon.Beat(gid, step)
+				idx := WeightedStepBatch(n, s.job.EpochSeed, step, globalBatch, pos, weights)
+				x, y := distdl.GatherBatch(s.job.Xs, s.job.Ys, idx)
+				lastLoss = trainer.Step(x, y)
+				if every := s.opt.Checkpoint.Every; every > 0 && (step+1)%every == 0 {
+					s.coordinatedCheckpoint(inc, trainer, inj, pos, step+1)
+				}
+			}
+			mon.Done(gid)
+			inSync := trainer.ParamsInSync()
+			if pos == 0 {
+				flat := nn.FlattenValues(trainer.Model.Params())
+				resMu.Lock()
+				res.finalLoss = lastLoss
+				res.inSync = inSync
+				res.finalStep = trainer.StepCount()
+				res.params = append([]float64(nil), flat...)
+				resMu.Unlock()
+			}
+		}(pos, gid)
+	}
+	wg.Wait()
+	close(stopMon)
+	monWG.Wait()
+	res.readyAt = <-readyCh // every rank marks ready (deferred), so this always arrives
+	return res
+}
+
+// coordinatedCheckpoint quiesces all replicas at the same step boundary
+// (barrier), has survivor 0 serialize and persist the full snapshot —
+// replicas are bit-identical, so one writer suffices — and releases the
+// world only once the write is durable (second barrier). Write failures
+// panic and are classified as fatal by the rank's recover handler.
+func (s *Supervisor) coordinatedCheckpoint(inc int, trainer *distdl.Trainer, comm mpi.Communicator, pos, step int) {
+	comm.Barrier()
+	if pos == 0 {
+		traceStart := s.opt.Tracer.Start()
+		t0 := time.Now()
+		blob, err := trainer.Checkpoint()
+		name := checkpointName(s.opt.Checkpoint.prefix(), step)
+		if err == nil {
+			err = s.opt.Store.SaveBlob(name, blob)
+		}
+		if err == nil {
+			err = pruneCheckpoints(s.opt.Store, s.opt.Checkpoint.prefix(), s.opt.Checkpoint.Retain)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("coordinated checkpoint %s failed: %v", name, err))
+		}
+		dur := time.Since(t0)
+		s.opt.Tracer.End(trainer.Comm.Rank(), telemetry.CatCheckpoint, "checkpoint", traceStart, int64(len(blob)), name)
+		addCounter(s.counter("ft_checkpoints_total"), 1)
+		s.mu.Lock()
+		s.rep.Checkpoints++
+		s.rep.CheckpointBytes = int64(len(blob))
+		s.rep.CheckpointDurations = append(s.rep.CheckpointDurations, dur)
+		s.mu.Unlock()
+		s.logf("incarnation %d: coordinated checkpoint %s at step %d (%d bytes)", inc, name, step, len(blob))
+	}
+	comm.Barrier()
+}
+
+// stragglerWeights converts measured per-rank paces (ns/step) into
+// quantized proportional-share weights for WeightedStepBatch: a rank
+// twice as slow gets roughly half the samples. Quantization to the
+// policy's quantum keeps noisy measurements from producing a different
+// partition on every run.
+func stragglerWeights(pace map[int]float64, survivors []int, pol StragglerPolicy) []float64 {
+	w := uniformWeights(len(survivors))
+	if !pol.Enabled {
+		return w
+	}
+	speeds := make([]float64, len(survivors))
+	sum := 0.0
+	for i, gid := range survivors {
+		p := pace[gid]
+		if p <= 0 {
+			return w // no usable estimates: keep equal shares
+		}
+		speeds[i] = 1 / p
+		sum += speeds[i]
+	}
+	mean := sum / float64(len(survivors))
+	for i := range speeds {
+		q := pol.Quantum * float64(int(speeds[i]/mean/pol.Quantum+0.5))
+		if q < pol.Quantum {
+			q = pol.Quantum
+		}
+		w[i] = q
+	}
+	return w
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func exclude(all, drop []int) []int {
+	var out []int
+	for _, v := range all {
+		if !containsInt(drop, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

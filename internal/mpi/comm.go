@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Comm is a rank's handle onto the world: the object through which all
@@ -44,6 +45,18 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 func (c *Comm) Recv(src, tag int) ([]float64, int) {
 	msg := c.world.boxes[c.rank].get(src, tag)
 	return msg.data, msg.src
+}
+
+// RecvTimeout is Recv with a deadline: the third return reports whether a
+// message arrived before the timeout elapsed. Heartbeat and failure-
+// detection protocols need a bounded wait — a plain Recv from a dead peer
+// blocks forever.
+func (c *Comm) RecvTimeout(src, tag int, timeout time.Duration) ([]float64, int, bool) {
+	msg, ok := c.world.boxes[c.rank].getTimeout(src, tag, timeout)
+	if !ok {
+		return nil, 0, false
+	}
+	return msg.data, msg.src, true
 }
 
 // SendRecv sends to dst and receives from src concurrently, as in

@@ -9,13 +9,25 @@ import "sync"
 // contributor receives the combined result. The struct is a reusable
 // generation-counted rendezvous so back-to-back collectives are safe.
 type gceEngine struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	gen    int
-	count  int
-	acc    []float64
-	result []float64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	gen     int
+	count   int
+	acc     []float64
+	result  []float64
+	revoked bool
+	reason  string
+}
+
+// revoke wakes every rank blocked in the engine; they panic with
+// RevokedError, matching mailbox semantics.
+func (g *gceEngine) revoke(reason string) {
+	g.mu.Lock()
+	g.revoked = true
+	g.reason = reason
+	g.mu.Unlock()
+	g.cond.Broadcast()
 }
 
 func newGCEEngine(n int) *gceEngine {
@@ -30,6 +42,10 @@ func newGCEEngine(n int) *gceEngine {
 // nondeterministic accumulation of a real in-network reduction tree.
 func (g *gceEngine) allreduce(data []float64, op ReduceOp) []float64 {
 	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.revoked {
+		panic(RevokedError{Reason: g.reason})
+	}
 	gen := g.gen
 	if g.count == 0 {
 		g.acc = append(g.acc[:0], data...)
@@ -44,9 +60,14 @@ func (g *gceEngine) allreduce(data []float64, op ReduceOp) []float64 {
 		g.cond.Broadcast()
 	}
 	for g.gen == gen {
+		if g.revoked {
+			panic(RevokedError{Reason: g.reason})
+		}
 		g.cond.Wait()
 	}
+	if g.revoked {
+		panic(RevokedError{Reason: g.reason})
+	}
 	out := append([]float64(nil), g.result...)
-	g.mu.Unlock()
 	return out
 }

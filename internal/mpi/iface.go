@@ -1,0 +1,36 @@
+package mpi
+
+import "time"
+
+// Communicator is the subset of *Comm that distributed algorithms consume:
+// point-to-point messaging plus the collectives. Code written against this
+// interface (distdl trainers, the ft supervisor) can run over a plain
+// *Comm or over an interposer that injects faults, delays, or tracing
+// between the algorithm and the wire — the mechanism internal/ft uses to
+// make failure scenarios reproducible.
+//
+// Methods panic with RevokedError once the underlying World has been
+// revoked (see World.Revoke), so algorithms blocked in a collective unwind
+// instead of hanging when a peer dies.
+type Communicator interface {
+	Rank() int
+	Size() int
+
+	Send(dst, tag int, data []float64)
+	Recv(src, tag int) ([]float64, int)
+	RecvTimeout(src, tag int, timeout time.Duration) ([]float64, int, bool)
+	Probe(src, tag int) bool
+
+	Barrier()
+	Bcast(root int, data []float64) []float64
+	Reduce(root int, data []float64, op ReduceOp) []float64
+	Allreduce(data []float64, op ReduceOp, algo Algo) []float64
+	AllreduceMean(data []float64, algo Algo) []float64
+	AllreduceScalar(v float64, op ReduceOp) float64
+	ReduceScatter(data []float64, op ReduceOp) []float64
+	Allgather(data []float64) []float64
+	Gather(root int, data []float64) [][]float64
+	Scatter(root int, parts [][]float64) []float64
+}
+
+var _ Communicator = (*Comm)(nil)

@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recoverRevoked runs fn and reports whether it panicked with RevokedError.
+func recoverRevoked(fn func()) (revoked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := AsRevoked(r); ok {
+				revoked = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}
+
+func TestRevokeUnblocksRecv(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan bool, 1)
+	go func() {
+		done <- recoverRevoked(func() { w.Comm(0).Recv(1, 7) })
+	}()
+	time.Sleep(20 * time.Millisecond) // let the receiver block
+	w.Revoke("test")
+	select {
+	case revoked := <-done:
+		if !revoked {
+			t.Fatal("Recv returned normally on a revoked world")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv still blocked after Revoke")
+	}
+	if !w.Revoked() {
+		t.Fatal("Revoked() should report true")
+	}
+}
+
+func TestRevokeUnblocksCollectives(t *testing.T) {
+	// Ranks 0 and 1 enter the barrier; rank 2 never does — the classic
+	// dead-peer stall. Revoke must unwind both blocked ranks.
+	w := NewWorld(3)
+	var wg sync.WaitGroup
+	results := make([]bool, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = recoverRevoked(func() { w.Comm(r).Barrier() })
+		}(r)
+	}
+	time.Sleep(20 * time.Millisecond)
+	w.Revoke("rank 2 presumed dead")
+	wg.Wait()
+	for r, revoked := range results {
+		if !revoked {
+			t.Fatalf("rank %d escaped the barrier without RevokedError", r)
+		}
+	}
+}
+
+func TestRevokeUnblocksGCE(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan bool, 1)
+	go func() {
+		done <- recoverRevoked(func() {
+			w.Comm(0).Allreduce([]float64{1}, OpSum, AlgoGCE)
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	w.Revoke("test")
+	select {
+	case revoked := <-done:
+		if !revoked {
+			t.Fatal("GCE allreduce returned normally on a revoked world")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("GCE allreduce still blocked after Revoke")
+	}
+}
+
+func TestSendOnRevokedWorldPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Revoke("test")
+	if !recoverRevoked(func() { w.Comm(0).Send(1, 0, []float64{1}) }) {
+		t.Fatal("Send on a revoked world should panic with RevokedError")
+	}
+}
+
+func TestRevokeIdempotent(t *testing.T) {
+	w := NewWorld(2)
+	w.Revoke("first")
+	w.Revoke("second") // must not panic or deadlock
+	if !recoverRevoked(func() { w.Comm(1).Recv(0, 0) }) {
+		t.Fatal("Recv after double revoke should panic with RevokedError")
+	}
+}
+
+func TestRevokedErrorMessage(t *testing.T) {
+	e := RevokedError{Reason: "rank 3 dead"}
+	if e.Error() != "mpi: world revoked: rank 3 dead" {
+		t.Fatalf("unexpected message %q", e.Error())
+	}
+	if _, ok := AsRevoked("not a revocation"); ok {
+		t.Fatal("AsRevoked matched a non-RevokedError value")
+	}
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	w := NewWorld(2)
+	start := time.Now()
+	_, _, ok := w.Comm(0).RecvTimeout(1, 5, 50*time.Millisecond)
+	if ok {
+		t.Fatal("RecvTimeout reported a message that was never sent")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("RecvTimeout returned after %v, before the deadline", elapsed)
+	}
+}
+
+func TestRecvTimeoutDelivers(t *testing.T) {
+	w := NewWorld(2)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		w.Comm(1).Send(0, 5, []float64{42})
+	}()
+	data, src, ok := w.Comm(0).RecvTimeout(1, 5, 2*time.Second)
+	if !ok || src != 1 || len(data) != 1 || data[0] != 42 {
+		t.Fatalf("RecvTimeout got (%v, %d, %v)", data, src, ok)
+	}
+}
+
+func TestRecvTimeoutImmediate(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(1).Send(0, 9, []float64{7})
+	data, _, ok := w.Comm(0).RecvTimeout(1, 9, time.Millisecond)
+	if !ok || data[0] != 7 {
+		t.Fatal("RecvTimeout missed an already-queued message")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -37,9 +38,11 @@ type message struct {
 
 // mailbox is a rank's incoming-message queue with blocking matched receive.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	revoked bool
+	reason  string
 }
 
 func newMailbox() *mailbox {
@@ -50,6 +53,11 @@ func newMailbox() *mailbox {
 
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
+	if m.revoked {
+		reason := m.reason
+		m.mu.Unlock()
+		panic(RevokedError{Reason: reason})
+	}
 	m.queue = append(m.queue, msg)
 	m.mu.Unlock()
 	m.cond.Broadcast()
@@ -57,11 +65,15 @@ func (m *mailbox) put(msg message) {
 
 // get blocks until a message matching (src, tag) is available and removes
 // it from the queue. src may be AnySource. FIFO order among matching
-// messages is preserved.
+// messages is preserved. Panics with RevokedError once the world is
+// revoked, so blocked receivers unwind instead of hanging.
 func (m *mailbox) get(src, tag int) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
+		if m.revoked {
+			panic(RevokedError{Reason: m.reason})
+		}
 		for i, msg := range m.queue {
 			if (src == AnySource || msg.src == src) && msg.tag == tag {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
@@ -70,6 +82,65 @@ func (m *mailbox) get(src, tag int) message {
 		}
 		m.cond.Wait()
 	}
+}
+
+// getTimeout is get with a deadline: it returns (msg, true) if a matching
+// message arrives within d, and (zero, false) on timeout. Revocation still
+// panics with RevokedError.
+func (m *mailbox) getTimeout(src, tag int, d time.Duration) (message, bool) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		// Take the lock so the broadcast cannot slip between a waiter's
+		// deadline check and its cond.Wait.
+		m.mu.Lock()
+		m.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		m.cond.Broadcast()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.revoked {
+			panic(RevokedError{Reason: m.reason})
+		}
+		for i, msg := range m.queue {
+			if (src == AnySource || msg.src == src) && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg, true
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return message{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// revoke marks the mailbox dead and wakes every blocked receiver.
+func (m *mailbox) revoke(reason string) {
+	m.mu.Lock()
+	m.revoked = true
+	m.reason = reason
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// RevokedError is the panic payload thrown out of communication calls on a
+// revoked world — the analogue of ULFM's MPI_ERR_REVOKED. Ranks blocked in
+// a collective when a peer dies unwind with this value; supervisors
+// recover() it (see AsRevoked) and rebuild a smaller world.
+type RevokedError struct {
+	Reason string
+}
+
+func (e RevokedError) Error() string {
+	return fmt.Sprintf("mpi: world revoked: %s", e.Reason)
+}
+
+// AsRevoked reports whether a recover() value is a RevokedError.
+func AsRevoked(r any) (RevokedError, bool) {
+	e, ok := r.(RevokedError)
+	return e, ok
 }
 
 // Stats aggregates communication traffic for one rank.
@@ -86,11 +157,12 @@ type Stats struct {
 // either call Run to execute an SPMD function on every rank, or obtain
 // per-rank Comm handles with Comm for manual orchestration.
 type World struct {
-	size  int
-	boxes []*mailbox
-	stats []Stats
-	gce   *gceEngine
-	split *splitState
+	size    int
+	boxes   []*mailbox
+	stats   []Stats
+	gce     *gceEngine
+	split   *splitState
+	revoked atomic.Bool
 	// tracer, when set, receives one span per collective call, tagged
 	// with payload bytes and algorithm (telemetry.go).
 	tracer atomic.Pointer[telemetry.Tracer]
@@ -113,6 +185,25 @@ func NewWorld(n int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// Revoke marks the world as failed (ULFM's MPI_Comm_revoke): every blocked
+// and future communication call on any rank panics with RevokedError. A
+// fault-tolerance supervisor calls this after detecting a dead rank so the
+// survivors stuck in a collective with the dead peer unwind; the revoked
+// world is then discarded and a smaller one built from the survivors.
+// Idempotent and safe to call from any goroutine.
+func (w *World) Revoke(reason string) {
+	if !w.revoked.CompareAndSwap(false, true) {
+		return
+	}
+	for _, b := range w.boxes {
+		b.revoke(reason)
+	}
+	w.gce.revoke(reason)
+}
+
+// Revoked reports whether Revoke has been called.
+func (w *World) Revoked() bool { return w.revoked.Load() }
 
 // Comm returns the communicator handle for a rank.
 func (w *World) Comm(rank int) *Comm {

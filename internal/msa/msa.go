@@ -271,6 +271,24 @@ func (s *System) Module(kind ModuleKind) *Module {
 	return nil
 }
 
+// CheckpointTargets returns the storage endpoints a job on this system
+// can flush coordinated checkpoints to: the SSSM module's parallel
+// filesystem and, when the machine has one, the NAM module's
+// network-attached memory. Either may be nil when the module is absent —
+// module-aware checkpoint placement (internal/ft) degrades to whichever
+// target exists.
+func (s *System) CheckpointTargets() (*StorageSpec, *NAMSpec) {
+	var fs *StorageSpec
+	var nam *NAMSpec
+	if m := s.Module(StorageService); m != nil {
+		fs = m.Storage
+	}
+	if m := s.Module(NetworkMemory); m != nil {
+		nam = m.NAM
+	}
+	return fs, nam
+}
+
 // ModuleByName returns the named module, or nil.
 func (s *System) ModuleByName(name string) *Module {
 	for _, m := range s.Modules {

@@ -143,16 +143,19 @@ func (r *Residual) States() []*tensor.Tensor {
 	return out
 }
 
+// modelSnapshot is the gob wire format of SaveModel. The field layout must
+// stay stable across versions — gob matches fields by name.
+type modelSnapshot struct {
+	Params [][]float64
+	Names  []string
+	States [][]float64
+}
+
 // SaveModel serializes a model's parameters AND non-trainable state
 // (batch-norm running statistics), producing a checkpoint that restores
 // identical inference behaviour.
 func SaveModel(m *Sequential) ([]byte, error) {
-	type snapshot struct {
-		Params [][]float64
-		Names  []string
-		States [][]float64
-	}
-	var snap snapshot
+	var snap modelSnapshot
 	for _, p := range m.Params() {
 		snap.Params = append(snap.Params, append([]float64(nil), p.Value.Data()...))
 		snap.Names = append(snap.Names, p.Name)
@@ -167,30 +170,33 @@ func SaveModel(m *Sequential) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// LoadModel restores a SaveModel checkpoint into a structurally identical
-// model.
-func LoadModel(m *Sequential, blob []byte) error {
-	type snapshot struct {
-		Params [][]float64
-		Names  []string
-		States [][]float64
-	}
-	var snap snapshot
+func decodeModelSnapshot(blob []byte) (*modelSnapshot, error) {
+	var snap modelSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
-		return fmt.Errorf("nn: decoding model: %w", err)
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
 	}
+	return &snap, nil
+}
+
+// checkSnapshot verifies that snap structurally matches m: parameter
+// count, names, and sizes, plus state-tensor count and sizes. It does not
+// touch the model.
+func checkSnapshot(m *Sequential, snap *modelSnapshot) error {
 	params := m.Params()
 	if len(snap.Params) != len(params) {
 		return fmt.Errorf("nn: snapshot has %d params, model has %d", len(snap.Params), len(params))
+	}
+	if len(snap.Names) != len(snap.Params) {
+		return fmt.Errorf("nn: malformed snapshot: %d names for %d params", len(snap.Names), len(snap.Params))
 	}
 	for i, p := range params {
 		if snap.Names[i] != p.Name {
 			return fmt.Errorf("nn: param %d name mismatch: %q vs %q", i, snap.Names[i], p.Name)
 		}
 		if len(snap.Params[i]) != p.Value.Size() {
-			return fmt.Errorf("nn: param %q size mismatch", p.Name)
+			return fmt.Errorf("nn: param %q size mismatch: snapshot %d, model %d",
+				p.Name, len(snap.Params[i]), p.Value.Size())
 		}
-		copy(p.Value.Data(), snap.Params[i])
 	}
 	states := m.States()
 	if len(snap.States) != len(states) {
@@ -198,8 +204,39 @@ func LoadModel(m *Sequential, blob []byte) error {
 	}
 	for i, st := range states {
 		if len(snap.States[i]) != st.Size() {
-			return fmt.Errorf("nn: state tensor %d size mismatch", i)
+			return fmt.Errorf("nn: state tensor %d size mismatch: snapshot %d, model %d",
+				i, len(snap.States[i]), st.Size())
 		}
+	}
+	return nil
+}
+
+// ValidateModelBlob checks that a SaveModel blob decodes and structurally
+// matches m without mutating the model — the pre-flight a fault-tolerant
+// restore runs before committing to a checkpoint.
+func ValidateModelBlob(m *Sequential, blob []byte) error {
+	snap, err := decodeModelSnapshot(blob)
+	if err != nil {
+		return err
+	}
+	return checkSnapshot(m, snap)
+}
+
+// LoadModel restores a SaveModel checkpoint into a structurally identical
+// model. Validation runs before any copy, so on error the model is left
+// untouched.
+func LoadModel(m *Sequential, blob []byte) error {
+	snap, err := decodeModelSnapshot(blob)
+	if err != nil {
+		return err
+	}
+	if err := checkSnapshot(m, snap); err != nil {
+		return err
+	}
+	for i, p := range m.Params() {
+		copy(p.Value.Data(), snap.Params[i])
+	}
+	for i, st := range m.States() {
 		copy(st.Data(), snap.States[i])
 	}
 	return nil

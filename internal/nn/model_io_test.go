@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidateModelBlob(t *testing.T) {
+	m := MLP(rand.New(rand.NewSource(1)), 4, 8, 2)
+	blob, err := SaveModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateModelBlob(m, blob); err != nil {
+		t.Fatalf("blob should validate against its own model: %v", err)
+	}
+	other := MLP(rand.New(rand.NewSource(1)), 4, 16, 2)
+	if err := ValidateModelBlob(other, blob); err == nil {
+		t.Fatal("blob validated against a structurally different model")
+	}
+	if err := ValidateModelBlob(m, []byte("junk")); err == nil {
+		t.Fatal("garbage blob validated")
+	}
+}
+
+func TestLoadModelAtomicOnMismatch(t *testing.T) {
+	// LoadModel must not partially mutate the destination when the blob
+	// does not match: validation runs before any copy.
+	src := MLP(rand.New(rand.NewSource(2)), 4, 8, 2)
+	blob, err := SaveModel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := MLP(rand.New(rand.NewSource(3)), 4, 16, 2)
+	before := FlattenValues(dst.Params())
+	if err := LoadModel(dst, blob); err == nil {
+		t.Fatal("mismatched blob loaded without error")
+	}
+	after := FlattenValues(dst.Params())
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed LoadModel mutated the model")
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Checkpoint/restart modelling. The NAM prototype's original purpose was
 // "accelerating checkpoint/restart application performance in large-scale
@@ -64,6 +67,12 @@ func CompareCheckpointTargets(p CheckpointPlan, fs *SSSM, nam *NAM) (sssm, viaNA
 	if err := p.Validate(); err != nil {
 		return RunOverhead{}, RunOverhead{}, err
 	}
+	if fs == nil || fs.Spec.OSTs <= 0 || fs.Spec.OSTBWGBs <= 0 {
+		return RunOverhead{}, RunOverhead{}, fmt.Errorf("storage: SSSM target has no usable bandwidth")
+	}
+	if nam == nil || nam.Spec.BWGBs <= 0 || nam.Spec.CapacityGB <= 0 {
+		return RunOverhead{}, RunOverhead{}, fmt.Errorf("storage: NAM target has no usable bandwidth or capacity")
+	}
 	if p.TotalGB() > nam.Spec.CapacityGB {
 		return RunOverhead{}, RunOverhead{}, fmt.Errorf(
 			"storage: checkpoint of %.0f GB exceeds NAM capacity %.0f GB", p.TotalGB(), nam.Spec.CapacityGB)
@@ -85,4 +94,51 @@ func CompareCheckpointTargets(p CheckpointPlan, fs *SSSM, nam *NAM) (sssm, viaNA
 		namStall += drain - p.IntervalSec
 	}
 	return mk("sssm-direct", p.SSSMCheckpointTime(fs)), mk("via-nam", namStall), nil
+}
+
+// Checkpoint-interval selection. With checkpoint stall δ and system MTBF
+// M, checkpointing too often wastes time in stalls and too rarely wastes
+// time re-executing lost work; the classic first-order optimum is Young's
+// τ = sqrt(2δM), refined by Daly's higher-order expansion. These are the
+// analytic companions to the measured recovery costs internal/ft reports:
+// cmd/msa-ft joins the two into an MTBF-vs-overhead study.
+
+// YoungInterval returns Young's optimal compute time between checkpoints,
+// τ = sqrt(2 δ M), for checkpoint stall ckptSec and MTBF mtbfSec. Panics
+// on non-positive inputs (matching the package's modelling helpers).
+func YoungInterval(ckptSec, mtbfSec float64) float64 {
+	if ckptSec <= 0 || mtbfSec <= 0 {
+		panic(fmt.Sprintf("storage: YoungInterval needs positive inputs, got δ=%g M=%g", ckptSec, mtbfSec))
+	}
+	return math.Sqrt(2 * ckptSec * mtbfSec)
+}
+
+// DalyInterval returns Daly's higher-order refinement of Young's optimum:
+//
+//	τ = sqrt(2δM)·[1 + 1/3·sqrt(δ/2M) + 1/9·(δ/2M)] − δ   for δ < 2M
+//	τ = M                                                  otherwise
+//
+// For small δ/M it converges to Young's value; for checkpoint costs
+// comparable to the MTBF it degrades gracefully instead of exceeding M.
+func DalyInterval(ckptSec, mtbfSec float64) float64 {
+	if ckptSec <= 0 || mtbfSec <= 0 {
+		panic(fmt.Sprintf("storage: DalyInterval needs positive inputs, got δ=%g M=%g", ckptSec, mtbfSec))
+	}
+	if ckptSec >= 2*mtbfSec {
+		return mtbfSec
+	}
+	x := ckptSec / (2 * mtbfSec)
+	return math.Sqrt(2*ckptSec*mtbfSec)*(1+math.Sqrt(x)/3+x/9) - ckptSec
+}
+
+// ExpectedWaste returns the expected fraction of wall time lost to fault
+// tolerance when checkpointing every intervalSec of compute: the stall
+// share δ/τ, the expected rework after a failure τ/(2M), and the restart
+// cost R/M. First-order model, valid for τ ≪ M.
+func ExpectedWaste(intervalSec, ckptSec, restartSec, mtbfSec float64) float64 {
+	if intervalSec <= 0 || mtbfSec <= 0 || ckptSec < 0 || restartSec < 0 {
+		panic(fmt.Sprintf("storage: ExpectedWaste needs positive interval/MTBF, got τ=%g M=%g δ=%g R=%g",
+			intervalSec, mtbfSec, ckptSec, restartSec))
+	}
+	return ckptSec/intervalSec + intervalSec/(2*mtbfSec) + restartSec/mtbfSec
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/nn"
 )
@@ -45,12 +47,49 @@ func (s *ModelStore) Save(name string, m *nn.Sequential) error {
 	if err != nil {
 		return err
 	}
+	return s.SaveBlob(name, blob)
+}
+
+// SaveBlob stores raw checkpoint bytes under name with the same atomic
+// temp-file + rename protocol as Save. This is the path fault-tolerant
+// training uses: its blobs carry optimizer state and step counters on top
+// of the model, so the store must not care about the payload format.
+func (s *ModelStore) SaveBlob(name string, blob []byte) error {
 	tmp := s.path(name) + ".tmp"
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
 		return fmt.Errorf("storage: writing checkpoint %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, s.path(name)); err != nil {
 		return fmt.Errorf("storage: committing checkpoint %s: %w", name, err)
+	}
+	return nil
+}
+
+// List returns the names of all stored checkpoints, sorted lexically —
+// with zero-padded step suffixes that is also chronological order, which
+// retention policies rely on.
+func (s *ModelStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing model store %s: %w", s.Dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := strings.CutSuffix(e.Name(), ".ckpt"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete removes a named checkpoint (used by retention policies).
+func (s *ModelStore) Delete(name string) error {
+	if err := os.Remove(s.path(name)); err != nil {
+		return fmt.Errorf("storage: deleting checkpoint %s: %w", name, err)
 	}
 	return nil
 }

@@ -71,3 +71,56 @@ func TestModelStoreRoundTrip(t *testing.T) {
 		t.Fatal("loading a missing checkpoint must fail")
 	}
 }
+
+// TestModelStoreBlobLifecycle covers the raw-blob path the ft subsystem
+// uses for trainer snapshots: SaveBlob/Blob round-trip, lexically sorted
+// List, and Delete for retention.
+func TestModelStoreBlobLifecycle(t *testing.T) {
+	store, err := NewModelStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List()
+	if err != nil || len(names) != 0 {
+		t.Fatalf("fresh store should list empty, got %v, %v", names, err)
+	}
+	for _, n := range []string{"ft-0000000040", "ft-0000000020", "ft-0000000100"} {
+		if err := store.SaveBlob(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err = store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ft-0000000020", "ft-0000000040", "ft-0000000100"}
+	if len(names) != 3 {
+		t.Fatalf("List returned %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List order %v, want %v (zero-padded names sort chronologically)", names, want)
+		}
+	}
+	blob, err := store.Blob("ft-0000000040")
+	if err != nil || string(blob) != "ft-0000000040" {
+		t.Fatalf("Blob round trip: %q, %v", blob, err)
+	}
+	if err := store.Delete("ft-0000000020"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Exists("ft-0000000020") {
+		t.Fatal("deleted checkpoint still exists")
+	}
+	if err := store.Delete("ft-0000000020"); err == nil {
+		t.Fatal("deleting a missing checkpoint should error")
+	}
+	// Overwrite is atomic and keeps the newest payload.
+	if err := store.SaveBlob("ft-0000000040", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = store.Blob("ft-0000000040")
+	if string(blob) != "v2" {
+		t.Fatalf("overwrite lost: %q", blob)
+	}
+}

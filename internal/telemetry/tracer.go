@@ -45,6 +45,12 @@ const (
 	// CatPhase marks a scheduled job phase occupying an MSA module
 	// (simulated clock).
 	CatPhase Category = "phase"
+	// CatCheckpoint marks a coordinated checkpoint serialization/write in
+	// the ft subsystem.
+	CatCheckpoint Category = "checkpoint"
+	// CatRecovery marks failure detection, world revocation, and elastic
+	// restart work in the ft supervisor.
+	CatRecovery Category = "recovery"
 )
 
 // Span is one completed timed region on a track. Tracks map to Chrome
