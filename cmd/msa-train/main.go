@@ -29,13 +29,16 @@ func main() {
 	warmup := flag.Int("warmup", 8, "warmup steps for the linear-scaling rule (0 = off)")
 	algo := flag.String("algo", "ring", "allreduce algorithm: naive|tree|ring|recursive-doubling|gce|auto")
 	fp16 := flag.Bool("fp16", false, "compress gradients to fp16 on the wire")
+	overlap := flag.Bool("overlap", false, "overlap bucketed gradient allreduce with backward compute")
+	bucketKB := flag.Int("bucket-kb", 0, "gradient bucket size in KiB (0 = default when -overlap, monolithic otherwise)")
 	zero := flag.Bool("zero", false, "use ZeRO-1 sharded optimizer state (DeepSpeed style)")
 	seed := flag.Int64("seed", 1, "global seed")
 	flag.Parse()
 
 	cfg := core.DDPConfig{
 		Workers: *workers, Epochs: *epochs, Batch: *batch,
-		BaseLR: *lr, Warmup: *warmup, Algo: mpi.Algo(*algo), FP16: *fp16, ZeRO: *zero, Seed: *seed,
+		BaseLR: *lr, Warmup: *warmup, Algo: mpi.Algo(*algo), FP16: *fp16,
+		Overlap: *overlap, BucketBytes: *bucketKB * 1024, ZeRO: *zero, Seed: *seed,
 	}
 
 	var res core.DDPResult
@@ -57,11 +60,15 @@ func main() {
 	}
 
 	fmt.Printf("dataset        %s (%d synthetic samples)\n", *dataset, *samples)
-	fmt.Printf("workers        %d  (allreduce=%s, fp16=%v)\n", *workers, *algo, *fp16)
+	fmt.Printf("workers        %d  (allreduce=%s, fp16=%v, overlap=%v)\n", *workers, *algo, *fp16, *overlap)
 	fmt.Printf("optimizer steps %d\n", res.Steps)
 	fmt.Printf("final loss     %.4f\n", res.FinalLoss)
 	fmt.Printf("train %-9s %.3f\n", metric, res.TrainMetric)
 	fmt.Printf("val %-11s %.3f\n", metric, res.ValMetric)
 	fmt.Printf("wall time      %.2f s\n", res.WallSeconds)
 	fmt.Printf("gradient bytes %d (per rank, wire estimate)\n", res.GradBytes)
+	fmt.Printf("comm fraction  %.3f\n", res.CommFraction)
+	if *overlap {
+		fmt.Printf("overlap ratio  %.3f (allreduce time hidden behind backward)\n", res.OverlapRatio)
+	}
 }

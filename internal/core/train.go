@@ -24,6 +24,14 @@ type DDPConfig struct {
 	Warmup int
 	Algo   mpi.Algo
 	FP16   bool
+	// Overlap enables overlapped bucketed gradient synchronization:
+	// per-bucket nonblocking allreduces launched from the backward hook
+	// instead of one blocking allreduce after backward.
+	Overlap bool
+	// BucketBytes caps the gradient bucket size when Overlap is on (or
+	// forces blocking bucketed sync when set without Overlap); 0 with
+	// Overlap uses distdl.DefaultBucketBytes.
+	BucketBytes int
 	// ZeRO switches to the DeepSpeed-style sharded-optimizer trainer
 	// (Adam state split across ranks) instead of replicated SGD.
 	ZeRO bool
@@ -45,6 +53,11 @@ type DDPResult struct {
 	WallSeconds float64
 	Steps       int
 	GradBytes   int64
+	// CommFraction is rank 0's communication share of step time;
+	// OverlapRatio is the fraction of gradient allreduce time hidden
+	// behind backward compute (0 unless Overlap was on).
+	CommFraction float64
+	OverlapRatio float64
 }
 
 // TrainResNetBigEarthNet trains the mini ResNet on a synthetic
@@ -103,6 +116,9 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 	}
 
 	world := mpi.NewWorld(cfg.Workers)
+	// Route algorithm-agnostic collectives (scalar loss sync) through the
+	// run's configured algorithm as well.
+	world.SetDefaultAlgo(cfg.Algo)
 	if cfg.Tracer != nil {
 		world.SetTracer(cfg.Tracer)
 	}
@@ -113,22 +129,17 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 	start := time.Now()
 	err := world.Run(func(c *mpi.Comm) error {
 		model := build()
-		type stepper interface {
-			Step(x, y *tensor.Tensor) float64
-			StepCount() int
-		}
-		var tr stepper
-		var plain *distdl.Trainer
+		var tr distdl.Stepper
 		if cfg.ZeRO {
-			tr = distdl.NewZeROTrainer(c, model, loss, distdl.Config{
-				Algo: cfg.Algo, Schedule: sched, Tracer: cfg.Tracer,
-			})
+			tr = distdl.New(c, model, loss, nil, distdl.WithZeRO(),
+				distdl.WithAlgo(cfg.Algo), distdl.WithSchedule(sched), distdl.WithTracer(cfg.Tracer))
 		} else {
-			plain = distdl.NewTrainer(c, model, loss, nn.NewSGD(0.9, 1e-4), distdl.Config{
-				Algo: cfg.Algo, Compression: comp, Schedule: sched, Tracer: cfg.Tracer,
-			})
-			tr = plain
+			tr = distdl.New(c, model, loss, nn.NewSGD(0.9, 1e-4),
+				distdl.WithAlgo(cfg.Algo), distdl.WithCompression(comp), distdl.WithSchedule(sched),
+				distdl.WithTracer(cfg.Tracer), distdl.WithBucketBytes(cfg.BucketBytes),
+				distdl.WithOverlap(cfg.Overlap))
 		}
+		plain, _ := tr.(*distdl.Trainer)
 		var last float64
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
 			shard := distdl.Shard(len(split.Train), cfg.Seed+int64(epoch), c.Rank(), cfg.Workers)
@@ -144,8 +155,10 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 		if c.Rank() == 0 {
 			out.FinalLoss = last
 			out.Steps = tr.StepCount()
+			out.CommFraction = tr.CommFraction()
 			if plain != nil {
 				out.GradBytes = plain.GradBytesSent
+				out.OverlapRatio = plain.OverlapRatio()
 			}
 			out.TrainMetric = evalFn(model, split.Train)
 			if len(split.Val) > 0 {

@@ -1,0 +1,87 @@
+package distdl
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// Unified trainer construction. New is the single entry point for every
+// distributed-training flavour — plain data parallelism, bucketed and
+// overlapped gradient sync, ZeRO-1 optimizer sharding — configured with
+// functional options instead of the two divergent constructors
+// (NewTrainer / NewZeROTrainer) it supersedes. Those remain as thin
+// deprecated wrappers so existing callers compile.
+
+// Stepper is the training-loop surface every trainer flavour shares: run
+// one synchronous optimizer step on this rank's minibatch (returning the
+// globally averaged loss), report progress, and report the communication
+// share of step time.
+type Stepper interface {
+	Step(x, y *tensor.Tensor) float64
+	StepCount() int
+	CommFraction() float64
+}
+
+// Option configures New.
+type Option func(*newConfig)
+
+type newConfig struct {
+	cfg  Config
+	zero bool
+}
+
+// WithConfig replaces the whole Config at once — the bridge for callers
+// that already assemble a Config value (e.g. from CLI flags). Options
+// listed after it still apply on top.
+func WithConfig(c Config) Option { return func(n *newConfig) { n.cfg = c } }
+
+// WithAlgo selects the gradient allreduce algorithm.
+func WithAlgo(a mpi.Algo) Option { return func(n *newConfig) { n.cfg.Algo = a } }
+
+// WithCompression selects the gradient wire format.
+func WithCompression(c Compression) Option { return func(n *newConfig) { n.cfg.Compression = c } }
+
+// WithBucketBytes enables bucketed gradient sync with the given per-bucket
+// size cap (bytes of float64 payload); see Config.BucketBytes.
+func WithBucketBytes(b int) Option { return func(n *newConfig) { n.cfg.BucketBytes = b } }
+
+// WithOverlap launches each gradient bucket's allreduce from the backward
+// hook, overlapping communication with the rest of the backward pass; see
+// Config.Overlap.
+func WithOverlap(on bool) Option { return func(n *newConfig) { n.cfg.Overlap = on } }
+
+// WithClipNorm clips the global gradient norm after averaging.
+func WithClipNorm(c float64) Option { return func(n *newConfig) { n.cfg.ClipNorm = c } }
+
+// WithSchedule sets the learning-rate schedule.
+func WithSchedule(s nn.Schedule) Option { return func(n *newConfig) { n.cfg.Schedule = s } }
+
+// WithTracer attaches a span tracer to the trainer's step pipeline.
+func WithTracer(t *telemetry.Tracer) Option { return func(n *newConfig) { n.cfg.Tracer = t } }
+
+// WithMetrics registers the trainer's gauges (overlap ratio) with a
+// telemetry registry.
+func WithMetrics(r *telemetry.Registry) Option { return func(n *newConfig) { n.cfg.Metrics = r } }
+
+// WithZeRO selects the ZeRO-1 optimizer-state-sharded trainer. The opt
+// argument to New is ignored in this mode (the shard optimizer is the
+// trainer's built-in Adam); pass nil.
+func WithZeRO() Option { return func(n *newConfig) { n.zero = true } }
+
+// New builds a distributed trainer for one rank over comm, broadcasting
+// rank 0's parameters so every replica starts identical. The concrete
+// type behind the returned Stepper is *Trainer, or *ZeROTrainer under
+// WithZeRO; callers needing the wider concrete surface (Checkpoint,
+// Restore, ParamsInSync) type-assert accordingly.
+func New(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, opts ...Option) Stepper {
+	var n newConfig
+	for _, o := range opts {
+		o(&n)
+	}
+	if n.zero {
+		return newZeROTrainer(comm, model, loss, n.cfg)
+	}
+	return newTrainer(comm, model, loss, opt, n.cfg)
+}

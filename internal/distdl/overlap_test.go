@@ -1,0 +1,373 @@
+package distdl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+// Overlapped bucketed gradient synchronization: layout determinism, hook
+// firing, and — the load-bearing property — bitwise parameter identity
+// between overlap on and off over the same bucket layout.
+
+func TestBucketerLayout(t *testing.T) {
+	model := buildModel(1) // MLP(4,16,2): Dense, ReLU, Dense
+	// Tiny cap: every parameterized layer gets its own bucket.
+	bb := NewBucketer(model, 1)
+	if bb.NumBuckets() != 2 {
+		t.Fatalf("NumBuckets = %d, want 2", bb.NumBuckets())
+	}
+	// Bucket 0 must hold the *output-side* Dense (highest layer index):
+	// buckets are laid out in backward order.
+	lastDense := len(model.Layers) - 1
+	if bi, ok := bb.LayerBucket(lastDense); !ok || bi != 0 {
+		t.Fatalf("LayerBucket(%d) = (%d, %v), want (0, true)", lastDense, bi, ok)
+	}
+	if bi, ok := bb.LayerBucket(0); !ok || bi != 1 {
+		t.Fatalf("LayerBucket(0) = (%d, %v), want (1, true)", bi, ok)
+	}
+	if _, ok := bb.LayerBucket(1); ok {
+		t.Fatal("paramless ReLU layer mapped to a bucket")
+	}
+	total := 0
+	for _, b := range bb.Buckets() {
+		total += b.Elems
+	}
+	if want := nn.NumParams(model.Params()); total != want {
+		t.Fatalf("bucketed elems = %d, want %d", total, want)
+	}
+
+	// Huge cap: one bucket holds everything.
+	one := NewBucketer(model, 1<<30)
+	if one.NumBuckets() != 1 {
+		t.Fatalf("NumBuckets = %d, want 1", one.NumBuckets())
+	}
+
+	// Layout is a pure function of (model shape, cap): two replicas agree.
+	bb2 := NewBucketer(buildModel(2), 1)
+	if bb2.NumBuckets() != bb.NumBuckets() {
+		t.Fatal("layout differs between identically-shaped replicas")
+	}
+	for i, b := range bb.Buckets() {
+		if bb2.Buckets()[i].Elems != b.Elems {
+			t.Fatalf("bucket %d: elems %d vs %d", i, b.Elems, bb2.Buckets()[i].Elems)
+		}
+	}
+}
+
+func TestBucketerCountdown(t *testing.T) {
+	model := buildModel(1)
+	bb := NewBucketer(model, 1<<30) // single bucket, two contributing layers
+	if bb.NumBuckets() != 1 {
+		t.Fatalf("NumBuckets = %d, want 1", bb.NumBuckets())
+	}
+	last := len(model.Layers) - 1
+	if got := bb.MarkLayerDone(last); got != -1 {
+		t.Fatalf("bucket ready after first layer, MarkLayerDone = %d", got)
+	}
+	if got := bb.MarkLayerDone(1); got != -1 { // ReLU: no params
+		t.Fatalf("paramless layer advanced a countdown, MarkLayerDone = %d", got)
+	}
+	if got := bb.MarkLayerDone(0); got != 0 {
+		t.Fatalf("bucket not ready after all layers, MarkLayerDone = %d", got)
+	}
+	bb.Reset()
+	if got := bb.MarkLayerDone(last); got != -1 {
+		t.Fatalf("Reset did not re-arm countdown, MarkLayerDone = %d", got)
+	}
+}
+
+func TestBucketPackUnpackRoundTrip(t *testing.T) {
+	model := buildModel(3)
+	x, y, _ := synthClassification(9, 8, 4)
+	out := model.Forward(x, true)
+	_, grad := (nn.SoftmaxCrossEntropy{}).Forward(out, y)
+	model.Backward(grad)
+
+	bb := NewBucketer(model, 1)
+	want := nn.FlattenGrads(model.Params())
+	for _, b := range bb.Buckets() {
+		flat := b.Pack()
+		if len(flat) != b.Elems {
+			t.Fatalf("bucket %d: packed %d elems, want %d", b.Index, len(flat), b.Elems)
+		}
+		b.Unpack(flat) // identity round trip
+	}
+	got := nn.FlattenGrads(model.Params())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d changed across pack/unpack: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// runSteps trains for a few steps with the given options and returns the
+// final flat parameters of rank 0 plus the last mean loss and rank-0
+// trainer.
+func runSteps(t *testing.T, p, steps int, opts ...Option) ([]float64, float64, *Trainer) {
+	t.Helper()
+	x, y, _ := synthClassification(11, 8*p, 4)
+	var params []float64
+	var lastLoss float64
+	var tr0 *Trainer
+	w := mpi.NewWorld(p)
+	err := w.Run(func(c *mpi.Comm) error {
+		tr := New(c, buildModel(int64(40+c.Rank())), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0),
+			append([]Option{WithSchedule(nn.ConstLR(0.05))}, opts...)...)
+		for s := 0; s < steps; s++ {
+			idx := Shard(8*p, int64(s), c.Rank(), p)
+			bx, by := GatherBatch(x, y, idx)
+			loss := tr.Step(bx, by)
+			if c.Rank() == 0 {
+				lastLoss = loss
+			}
+		}
+		pt := tr.(*Trainer)
+		if !pt.ParamsInSync() {
+			return fmt.Errorf("rank %d: replicas diverged", c.Rank())
+		}
+		if c.Rank() == 0 {
+			params = nn.FlattenValues(pt.Model.Params())
+			tr0 = pt
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params, lastLoss, tr0
+}
+
+// TestOverlapBitwiseIdenticalToBlocking is the acceptance-criteria check:
+// with a fixed bucket layout and the (default) ring algorithm, overlapped
+// and blocking bucketed sync produce bitwise-identical parameters and
+// identical losses, and the overlapped run charges the same wire volume.
+func TestOverlapBitwiseIdenticalToBlocking(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for _, bucketBytes := range []int{1, 512, 1 << 20} {
+			t.Run(fmt.Sprintf("p%d/bb%d", p, bucketBytes), func(t *testing.T) {
+				blocking, lossB, trB := runSteps(t, p, 4, WithBucketBytes(bucketBytes))
+				overlapped, lossO, trO := runSteps(t, p, 4, WithBucketBytes(bucketBytes), WithOverlap(true))
+				if lossB != lossO {
+					t.Fatalf("loss diverged: blocking %v, overlapped %v", lossB, lossO)
+				}
+				if len(blocking) != len(overlapped) {
+					t.Fatalf("param count %d vs %d", len(blocking), len(overlapped))
+				}
+				for i := range blocking {
+					if blocking[i] != overlapped[i] {
+						t.Fatalf("param %d: blocking %v != overlapped %v (bitwise)", i, blocking[i], overlapped[i])
+					}
+				}
+				if trB.GradBytesSent != trO.GradBytesSent {
+					t.Fatalf("GradBytesSent: blocking %d, overlapped %d", trB.GradBytesSent, trO.GradBytesSent)
+				}
+				if p > 1 && trO.GradBytesSent == 0 {
+					t.Fatal("overlapped run charged no gradient traffic")
+				}
+			})
+		}
+	}
+}
+
+// TestOverlapMatchesMonolithicLoss: bucketing changes the reduction
+// association, so parameters need not be bitwise equal to the monolithic
+// path — but training must still converge equivalently. Loose check: same
+// loss to float32-ish tolerance after a few steps.
+func TestOverlapConvergesLikeMonolithic(t *testing.T) {
+	mono, lossM, _ := runSteps(t, 2, 4)
+	over, lossO, _ := runSteps(t, 2, 4, WithOverlap(true), WithBucketBytes(256))
+	if d := lossM - lossO; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("losses diverged beyond tolerance: monolithic %v, overlapped %v", lossM, lossO)
+	}
+	for i := range mono {
+		if d := mono[i] - over[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("param %d drifted: %v vs %v", i, mono[i], over[i])
+		}
+	}
+}
+
+func TestOverlapWithFP16Compression(t *testing.T) {
+	blocking, _, _ := runSteps(t, 2, 3, WithBucketBytes(256), WithCompression(FP16Compression))
+	overlapped, _, _ := runSteps(t, 2, 3, WithBucketBytes(256), WithCompression(FP16Compression), WithOverlap(true))
+	for i := range blocking {
+		if blocking[i] != overlapped[i] {
+			t.Fatalf("param %d: blocking %v != overlapped %v under fp16", i, blocking[i], overlapped[i])
+		}
+	}
+}
+
+func TestOverlapRatioAndSpans(t *testing.T) {
+	tracer := telemetry.NewTracer(0)
+	reg := telemetry.NewRegistry()
+	x, y, _ := synthClassification(13, 16, 4)
+	w := mpi.NewWorld(2)
+	err := w.Run(func(c *mpi.Comm) error {
+		opts := []Option{WithBucketBytes(64), WithOverlap(true), WithSchedule(nn.ConstLR(0.05))}
+		if c.Rank() == 0 {
+			opts = append(opts, WithTracer(tracer), WithMetrics(reg))
+		}
+		tr := New(c, buildModel(7), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), opts...)
+		pt := tr.(*Trainer)
+		if pt.NumBuckets() < 2 {
+			return fmt.Errorf("rank %d: expected multiple buckets, got %d", c.Rank(), pt.NumBuckets())
+		}
+		for s := 0; s < 3; s++ {
+			idx := Shard(16, int64(s), c.Rank(), 2)
+			bx, by := GatherBatch(x, y, idx)
+			tr.Step(bx, by)
+		}
+		ratio := pt.OverlapRatio()
+		if ratio < 0 || ratio > 1 {
+			return fmt.Errorf("rank %d: OverlapRatio = %v outside [0,1]", c.Rank(), ratio)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-bucket spans must appear on the trace.
+	found := map[string]bool{}
+	for _, sp := range tracer.Spans() {
+		found[sp.Name] = true
+	}
+	for _, want := range []string{"grad-sync:bucket0", "grad-sync:bucket1"} {
+		if !found[want] {
+			t.Fatalf("span %q missing from trace (have %v)", want, found)
+		}
+	}
+	// The overlap-ratio gauge must be registered and scrapeable.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "msa_distdl_overlap_ratio") {
+		t.Fatalf("msa_distdl_overlap_ratio missing from registry output:\n%s", sb.String())
+	}
+}
+
+// TestNewMatchesDeprecatedConstructors: the functional-options front door
+// must behave exactly like the legacy constructors it wraps.
+func TestNewMatchesDeprecatedConstructors(t *testing.T) {
+	x, y, _ := synthClassification(21, 8, 4)
+	run := func(mk func(c *mpi.Comm) Stepper) []float64 {
+		var params []float64
+		w := mpi.NewWorld(2)
+		err := w.Run(func(c *mpi.Comm) error {
+			tr := mk(c)
+			for s := 0; s < 3; s++ {
+				idx := Shard(8, int64(s), c.Rank(), 2)
+				bx, by := GatherBatch(x, y, idx)
+				tr.Step(bx, by)
+			}
+			if c.Rank() == 0 {
+				switch v := tr.(type) {
+				case *Trainer:
+					params = nn.FlattenValues(v.Model.Params())
+				case *ZeROTrainer:
+					params = nn.FlattenValues(v.Model.Params())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return params
+	}
+	cfg := Config{Schedule: nn.ConstLR(0.05)}
+	oldWay := run(func(c *mpi.Comm) Stepper {
+		//lint:ignore SA1019 the deprecated wrapper is the subject under test
+		return NewTrainer(c, buildModel(31), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), cfg)
+	})
+	newWay := run(func(c *mpi.Comm) Stepper {
+		return New(c, buildModel(31), nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0), WithConfig(cfg))
+	})
+	for i := range oldWay {
+		if oldWay[i] != newWay[i] {
+			t.Fatalf("param %d: NewTrainer %v != New %v", i, oldWay[i], newWay[i])
+		}
+	}
+	oldZ := run(func(c *mpi.Comm) Stepper {
+		//lint:ignore SA1019 the deprecated wrapper is the subject under test
+		return NewZeROTrainer(c, buildModel(32), nn.SoftmaxCrossEntropy{}, cfg)
+	})
+	newZ := run(func(c *mpi.Comm) Stepper {
+		return New(c, buildModel(32), nn.SoftmaxCrossEntropy{}, nil, WithZeRO(), WithConfig(cfg))
+	})
+	for i := range oldZ {
+		if oldZ[i] != newZ[i] {
+			t.Fatalf("param %d: NewZeROTrainer %v != New(WithZeRO) %v", i, oldZ[i], newZ[i])
+		}
+	}
+}
+
+func TestFlattenIntoReusesBuffer(t *testing.T) {
+	model := buildModel(55)
+	params := model.Params()
+	n := nn.NumParams(params)
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range params {
+		for i := range p.Grad.Data() {
+			p.Grad.Data()[i] = rng.NormFloat64()
+		}
+	}
+	buf := make([]float64, 0, n)
+	got := nn.FlattenGradsInto(buf, params)
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("FlattenGradsInto allocated despite sufficient capacity")
+	}
+	want := nn.FlattenGrads(params)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	nn.UnflattenGrads(params, got)
+	vgot := nn.FlattenValuesInto(got[:0], params) // reuse again for values
+	vwant := nn.FlattenValues(params)
+	for i := range vwant {
+		if vgot[i] != vwant[i] {
+			t.Fatalf("value elem %d: %v != %v", i, vgot[i], vwant[i])
+		}
+	}
+}
+
+// TestBackwardHookOrder pins the hook contract overlap depends on: fired
+// once per layer, in reverse layer order, after that layer's gradients
+// are final.
+func TestBackwardHookOrder(t *testing.T) {
+	model := buildModel(66)
+	x, y, _ := synthClassification(17, 8, 4)
+	out := model.Forward(x, true)
+	_, grad := (nn.SoftmaxCrossEntropy{}).Forward(out, y)
+	var order []int
+	model.SetBackwardHook(func(i int, l nn.Layer) {
+		if l != model.Layers[i] {
+			t.Fatalf("hook layer mismatch at index %d", i)
+		}
+		order = append(order, i)
+	})
+	model.Backward(grad)
+	model.SetBackwardHook(nil)
+	if len(order) != len(model.Layers) {
+		t.Fatalf("hook fired %d times, want %d", len(order), len(model.Layers))
+	}
+	for k, i := range order {
+		if want := len(model.Layers) - 1 - k; i != want {
+			t.Fatalf("firing %d: layer %d, want %d", k, i, want)
+		}
+	}
+	// Removed hook must not fire.
+	model.Forward(x, true)
+	before := len(order)
+	model.Backward(grad)
+	if len(order) != before {
+		t.Fatal("hook fired after SetBackwardHook(nil)")
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mpi"
@@ -39,6 +41,20 @@ type Config struct {
 	Algo mpi.Algo
 	// Compression optionally rounds gradients to fp16 before exchange.
 	Compression Compression
+	// BucketBytes, when positive, switches gradient sync from one
+	// monolithic allreduce to per-bucket allreduces over a fixed
+	// reverse-layer bucket layout (bucket.go). The layout depends only on
+	// the model and this cap, so the reduction order — and hence the
+	// result — is identical whether buckets are exchanged blocking or
+	// overlapped.
+	BucketBytes int
+	// Overlap launches each bucket's allreduce from the backward hook the
+	// moment its layers' gradients are final, hiding the transfer behind
+	// the rest of the backward pass (requires bucketing; BucketBytes
+	// defaults to DefaultBucketBytes when unset). Uses the nonblocking
+	// ring allreduce, which matches the blocking ring bitwise — with the
+	// default AlgoRing, overlap on/off produce identical parameters.
+	Overlap bool
 	// ClipNorm, when positive, clips the global gradient norm after
 	// averaging (needed by the recurrent models).
 	ClipNorm float64
@@ -50,6 +66,9 @@ type Config struct {
 	// communication fraction is readable straight off the timeline. The
 	// nil default costs nothing on the hot path.
 	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, registers this trainer's gauges (the
+	// per-rank overlap ratio) at construction.
+	Metrics *telemetry.Registry
 }
 
 // Trainer drives one rank's replica. Comm is an interface so a fault
@@ -71,60 +90,111 @@ type Trainer struct {
 	// compute (forward/backward/optimizer) versus communication
 	// (gradient and loss sync) across all steps — the raw inputs to the
 	// comm-fraction breakdown, tracked whether or not a Tracer is set.
+	// For overlapped sync, CommNs charges only the *unhidden* wait time
+	// in the drain, so CommFraction directly reflects the overlap win.
 	ComputeNs int64
 	CommNs    int64
+
+	// flatBuf is the reused monolithic flat-gradient buffer
+	// (nn.FlattenGradsInto), eliminating the per-step allocation.
+	flatBuf []float64
+
+	// Bucketed/overlapped sync state (nil / unused when BucketBytes == 0).
+	bkt      *Bucketer
+	inflight []*mpi.AllreduceRequest // per bucket, launch order
+	launched []time.Time             // per-bucket Iallreduce launch times
+	// overlapHiddenNs / overlapTotalNs accumulate, per bucket allreduce,
+	// the wall time that ran concurrently with backward compute vs the
+	// operation's total duration. Atomics: OverlapRatio may be read by a
+	// metrics scraper while Step runs.
+	overlapHiddenNs int64
+	overlapTotalNs  int64
 }
 
-// NewTrainer wires a replica to its communicator. Parameters are
+// NewTrainer wires a replica to its communicator.
+//
+// Deprecated: use New, which unifies trainer construction behind
+// functional options (NewTrainer(c, m, l, o, cfg) is New(c, m, l, o,
+// WithConfig(cfg))).
+func NewTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, cfg Config) *Trainer {
+	return newTrainer(comm, model, loss, opt, cfg)
+}
+
+// newTrainer wires a replica to its communicator. Parameters are
 // broadcast from rank 0 so every replica starts identical (the Horovod
 // `broadcast_parameters` step).
-func NewTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, cfg Config) *Trainer {
+func newTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, cfg Config) *Trainer {
 	if cfg.Algo == "" {
 		cfg.Algo = mpi.AlgoRing
 	}
 	if cfg.Schedule == nil {
 		cfg.Schedule = nn.ConstLR(0.01)
 	}
+	if cfg.Overlap && cfg.BucketBytes <= 0 {
+		cfg.BucketBytes = DefaultBucketBytes
+	}
 	t := &Trainer{Comm: comm, Model: model, Loss: loss, Opt: opt, Cfg: cfg, params: model.Params()}
+	if cfg.BucketBytes > 0 {
+		t.bkt = NewBucketer(model, cfg.BucketBytes)
+		t.inflight = make([]*mpi.AllreduceRequest, t.bkt.NumBuckets())
+		t.launched = make([]time.Time, t.bkt.NumBuckets())
+	}
 	flat := nn.FlattenValues(t.params)
 	flat = comm.Bcast(0, flat)
 	nn.UnflattenValues(t.params, flat)
+	if cfg.Metrics != nil {
+		cfg.Metrics.SetHelp("msa_distdl_overlap_ratio",
+			"fraction of gradient allreduce wall time hidden behind backward compute")
+		cfg.Metrics.GaugeFunc("msa_distdl_overlap_ratio", t.OverlapRatio,
+			telemetry.Label{Key: "rank", Value: strconv.Itoa(comm.Rank())})
+	}
 	return t
 }
 
 // Step runs one synchronous data-parallel optimizer step on this rank's
 // minibatch and returns the *globally averaged* loss.
+//
+// Gradient synchronization runs in one of three modes: a single blocking
+// allreduce over the whole flat gradient (the default), blocking
+// per-bucket allreduces (BucketBytes > 0), or overlapped per-bucket
+// nonblocking allreduces launched from the backward hook as each bucket's
+// gradients become final (Overlap). The bucketed modes share one fixed
+// layout, so with the ring algorithm they produce bitwise-identical
+// parameters.
 func (t *Trainer) Step(x, y *tensor.Tensor) float64 {
 	tr := t.Cfg.Tracer
 	rank := t.Comm.Rank()
 	stepStart := tr.Start()
+
+	overlapped := t.bkt != nil && t.Cfg.Overlap
+	if overlapped {
+		t.bkt.Reset()
+		for i := range t.inflight {
+			t.inflight[i] = nil
+		}
+		t.Model.SetBackwardHook(t.backwardHook)
+	}
 
 	c0 := time.Now()
 	t.Model.ZeroGrads()
 	out := t.Model.Forward(x, true)
 	loss, grad := t.Loss.Forward(out, y)
 	t.Model.Backward(grad)
-	t.ComputeNs += time.Since(c0).Nanoseconds()
+	if overlapped {
+		t.Model.SetBackwardHook(nil)
+	}
+	bwdEnd := time.Now()
+	t.ComputeNs += bwdEnd.Sub(c0).Nanoseconds()
 	tr.End(rank, telemetry.CatCompute, "fwd-bwd", stepStart, 0, "")
 
-	flat := nn.FlattenGrads(t.params)
-	bytesPerElem := int64(4)
-	if t.Cfg.Compression == FP16Compression {
-		CompressFP16(flat)
-		bytesPerElem = 2
+	switch {
+	case t.bkt == nil:
+		t.syncMonolithic(tr, rank)
+	case overlapped:
+		t.drainBuckets(tr, rank, bwdEnd)
+	default:
+		t.syncBucketsBlocking(tr, rank)
 	}
-	commStart := tr.Start()
-	c1 := time.Now()
-	if t.Comm.Size() > 1 {
-		flat = t.Comm.AllreduceMean(flat, t.Cfg.Algo)
-		// Ring allreduce moves ~2·n elements per rank; we charge the
-		// canonical 2·n·(p-1)/p for any algorithm as the wire estimate.
-		p := int64(t.Comm.Size())
-		t.GradBytesSent += 2 * int64(len(flat)) * (p - 1) / p * bytesPerElem
-	}
-	t.CommNs += time.Since(c1).Nanoseconds()
-	tr.End(rank, telemetry.CatComm, "grad-sync", commStart, int64(len(flat))*bytesPerElem, string(t.Cfg.Algo))
-	nn.UnflattenGrads(t.params, flat)
 
 	optStart := tr.Start()
 	o0 := time.Now()
@@ -145,15 +215,159 @@ func (t *Trainer) Step(x, y *tensor.Tensor) float64 {
 	return mean
 }
 
+// bytesPerElem returns the simulated wire width of one gradient element.
+func (t *Trainer) bytesPerElem() int64 {
+	if t.Cfg.Compression == FP16Compression {
+		return 2
+	}
+	return 4
+}
+
+// chargeGradBytes adds the canonical ring wire estimate for an allreduce
+// of elems elements — 2·n·(p-1)/p per rank — to GradBytesSent.
+func (t *Trainer) chargeGradBytes(elems int) {
+	p := int64(t.Comm.Size())
+	if p > 1 {
+		t.GradBytesSent += 2 * int64(elems) * (p - 1) / p * t.bytesPerElem()
+	}
+}
+
+// syncMonolithic exchanges the whole flat gradient in one blocking
+// allreduce (the pre-bucketing path), reusing the trainer-owned buffer.
+func (t *Trainer) syncMonolithic(tr *telemetry.Tracer, rank int) {
+	t.flatBuf = nn.FlattenGradsInto(t.flatBuf, t.params)
+	flat := t.flatBuf
+	if t.Cfg.Compression == FP16Compression {
+		CompressFP16(flat)
+	}
+	commStart := tr.Start()
+	c1 := time.Now()
+	if t.Comm.Size() > 1 {
+		flat = t.Comm.AllreduceMean(flat, t.Cfg.Algo)
+		t.chargeGradBytes(len(flat))
+	}
+	t.CommNs += time.Since(c1).Nanoseconds()
+	tr.End(rank, telemetry.CatComm, "grad-sync", commStart, int64(len(flat))*t.bytesPerElem(), string(t.Cfg.Algo))
+	nn.UnflattenGrads(t.params, flat)
+}
+
+// syncBucketsBlocking exchanges each bucket with a blocking allreduce, in
+// layout order. Same reduction order as the overlapped path, just without
+// the overlap — the reference the bitwise-identity guarantee is stated
+// against.
+func (t *Trainer) syncBucketsBlocking(tr *telemetry.Tracer, rank int) {
+	inv := 1 / float64(t.Comm.Size())
+	for _, bk := range t.bkt.Buckets() {
+		flat := bk.Pack()
+		if t.Cfg.Compression == FP16Compression {
+			CompressFP16(flat)
+		}
+		commStart := tr.Start()
+		c1 := time.Now()
+		out := t.Comm.Allreduce(flat, mpi.OpSum, t.Cfg.Algo)
+		t.CommNs += time.Since(c1).Nanoseconds()
+		t.chargeGradBytes(bk.Elems)
+		for i := range out {
+			out[i] *= inv
+		}
+		bk.Unpack(out)
+		tr.End(rank, telemetry.CatComm, fmt.Sprintf("grad-sync:bucket%d", bk.Index),
+			commStart, int64(bk.Elems)*t.bytesPerElem(), string(t.Cfg.Algo))
+	}
+}
+
+// backwardHook is installed on the model during an overlapped Step: fired
+// after each layer's Backward, it launches a bucket's nonblocking
+// allreduce the moment the bucket's last contributing layer finishes.
+func (t *Trainer) backwardHook(layerIdx int, _ nn.Layer) {
+	if bi := t.bkt.MarkLayerDone(layerIdx); bi >= 0 {
+		t.launchBucket(bi)
+	}
+}
+
+// launchBucket packs bucket bi and starts its nonblocking ring allreduce.
+func (t *Trainer) launchBucket(bi int) {
+	bk := t.bkt.Buckets()[bi]
+	flat := bk.Pack()
+	if t.Cfg.Compression == FP16Compression {
+		CompressFP16(flat)
+	}
+	t.launched[bi] = time.Now()
+	t.inflight[bi] = t.Comm.Iallreduce(flat, mpi.OpSum)
+}
+
+// drainBuckets waits for every in-flight bucket allreduce (in launch
+// order), scales to the mean, scatters results back into parameter
+// gradients, and accounts overlap: the span of each operation that ran
+// before bwdEnd was hidden behind backward compute.
+func (t *Trainer) drainBuckets(tr *telemetry.Tracer, rank int, bwdEnd time.Time) {
+	inv := 1 / float64(t.Comm.Size())
+	for bi := range t.inflight {
+		if t.inflight[bi] == nil {
+			// Every Sequential layer's Backward runs, so every bucket is
+			// launched by the hook; this is a guard for exotic models.
+			t.launchBucket(bi)
+		}
+		req := t.inflight[bi]
+		bk := t.bkt.Buckets()[bi]
+		waitStart := tr.Start()
+		w := time.Now()
+		flat := req.Wait()
+		t.CommNs += time.Since(w).Nanoseconds()
+		completed := req.CompletedAt()
+		total := completed.Sub(t.launched[bi])
+		hidden := total
+		if completed.After(bwdEnd) {
+			hidden = bwdEnd.Sub(t.launched[bi])
+		}
+		if hidden < 0 {
+			hidden = 0
+		}
+		if total > 0 {
+			atomic.AddInt64(&t.overlapHiddenNs, hidden.Nanoseconds())
+			atomic.AddInt64(&t.overlapTotalNs, total.Nanoseconds())
+		}
+		t.chargeGradBytes(bk.Elems)
+		for i := range flat {
+			flat[i] *= inv
+		}
+		bk.Unpack(flat)
+		tr.End(rank, telemetry.CatComm, fmt.Sprintf("grad-sync:bucket%d", bi),
+			waitStart, int64(bk.Elems)*t.bytesPerElem(), "iallreduce-ring")
+		t.inflight[bi] = nil
+	}
+}
+
 // CommFraction returns the share of this rank's accumulated step time
 // spent communicating — the quantity whose growth with worker count
-// bounds data-parallel scaling efficiency (§III-A).
+// bounds data-parallel scaling efficiency (§III-A). Overlapped sync
+// charges only unhidden wait time, so enabling overlap lowers this.
 func (t *Trainer) CommFraction() float64 {
 	total := t.ComputeNs + t.CommNs
 	if total == 0 {
 		return 0
 	}
 	return float64(t.CommNs) / float64(total)
+}
+
+// OverlapRatio returns the fraction of cumulative bucket-allreduce wall
+// time that ran concurrently with backward compute (0 when overlap never
+// ran). Safe to call from a metrics scraper while training runs.
+func (t *Trainer) OverlapRatio() float64 {
+	total := atomic.LoadInt64(&t.overlapTotalNs)
+	if total == 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&t.overlapHiddenNs)) / float64(total)
+}
+
+// NumBuckets returns the number of gradient buckets in the configured
+// layout (0 in monolithic mode).
+func (t *Trainer) NumBuckets() int {
+	if t.bkt == nil {
+		return 0
+	}
+	return t.bkt.NumBuckets()
 }
 
 // StepCount returns the number of optimizer steps taken.

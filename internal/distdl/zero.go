@@ -36,12 +36,24 @@ type ZeROTrainer struct {
 	// time split (reduce-scatter + allgather count as communication).
 	ComputeNs int64
 	CommNs    int64
+
+	// flatBuf and valBuf are the reused flat gradient / value buffers
+	// (nn.FlattenGradsInto / FlattenValuesInto).
+	flatBuf []float64
+	valBuf  []float64
 }
 
-// NewZeROTrainer builds a sharded-optimizer replica. The world size must
+// NewZeROTrainer builds a sharded-optimizer replica.
+//
+// Deprecated: use New with WithZeRO (and a nil optimizer argument).
+func NewZeROTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, cfg Config) *ZeROTrainer {
+	return newZeROTrainer(comm, model, loss, cfg)
+}
+
+// newZeROTrainer builds a sharded-optimizer replica. The world size must
 // divide nothing in particular: shards use the same chunking as the ring
 // collectives. Parameters are broadcast from rank 0.
-func NewZeROTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, cfg Config) *ZeROTrainer {
+func newZeROTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, cfg Config) *ZeROTrainer {
 	if cfg.Algo == "" {
 		cfg.Algo = mpi.AlgoRing
 	}
@@ -82,7 +94,8 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 	t.ComputeNs += time.Since(c0).Nanoseconds()
 	tr.End(rank, telemetry.CatCompute, "fwd-bwd", stepStart, 0, "")
 
-	flat := nn.FlattenGrads(t.params)
+	t.flatBuf = nn.FlattenGradsInto(t.flatBuf, t.params)
+	flat := t.flatBuf
 	var shard []float64
 	p := t.Comm.Size()
 	rsStart := tr.Start()
@@ -106,7 +119,8 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 	lr := t.Cfg.Schedule.LR(t.step - 1)
 	c1 := 1 - math.Pow(t.beta1, float64(t.step))
 	c2 := 1 - math.Pow(t.beta2, float64(t.step))
-	vals := nn.FlattenValues(t.params)
+	t.valBuf = nn.FlattenValuesInto(t.valBuf, t.params)
+	vals := t.valBuf
 	local := vals[t.lo:t.hi]
 	for i, g := range shard {
 		t.m[i] = t.beta1*t.m[i] + (1-t.beta1)*g

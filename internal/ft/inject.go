@@ -149,6 +149,14 @@ func (inj *Injector) Allreduce(data []float64, op mpi.ReduceOp, algo mpi.Algo) [
 	return inj.inner.Allreduce(data, op, algo)
 }
 
+func (inj *Injector) Iallreduce(data []float64, op mpi.ReduceOp) *mpi.AllreduceRequest {
+	// Straggle charges the launch, not the completion: the background
+	// transfer itself is the inner comm's business, and delaying the call
+	// site is what perturbs an overlapped schedule the way a slow NIC does.
+	inj.straggle()
+	return inj.inner.Iallreduce(data, op)
+}
+
 func (inj *Injector) AllreduceMean(data []float64, algo mpi.Algo) []float64 {
 	inj.straggle()
 	return inj.inner.AllreduceMean(data, algo)

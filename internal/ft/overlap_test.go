@@ -1,0 +1,49 @@
+package ft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// The overlapped gradient path runs its collectives through whatever
+// Communicator the trainer was given — for fault-tolerant training, an
+// Injector. These tests pin the Iallreduce passthrough: results are
+// transparent, and a straggler delays the launch (the injected fault
+// perturbs the overlap schedule without changing the math).
+
+func TestInjectorIallreducePassthrough(t *testing.T) {
+	p := &Plan{} // no events
+	w := mpi.NewWorld(3)
+	err := w.Run(func(c *mpi.Comm) error {
+		inj := p.Wrap(c, c.Rank())
+		direct := c.Allreduce([]float64{1, 2, float64(c.Rank())}, mpi.OpSum, mpi.AlgoRing)
+		got := inj.Iallreduce([]float64{1, 2, float64(c.Rank())}, mpi.OpSum).Wait()
+		for i := range direct {
+			if got[i] != direct[i] {
+				t.Errorf("rank %d elem %d: injected %v != direct %v", c.Rank(), i, got[i], direct[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorIallreduceStraggleDelaysLaunch(t *testing.T) {
+	delay := 30 * time.Millisecond
+	p := &Plan{Events: []Event{{Kind: Straggle, Rank: 0, Step: 1, Until: 1, PerOp: delay}}}
+	w := mpi.NewWorld(1)
+	inj := p.Wrap(w.Comm(0), 0)
+	inj.AtStep(1)
+	t0 := time.Now()
+	req := inj.Iallreduce([]float64{1}, mpi.OpSum)
+	if d := time.Since(t0); d < delay {
+		t.Fatalf("straggled Iallreduce launch took only %v, want >= %v", d, delay)
+	}
+	if out := req.Wait(); out[0] != 1 {
+		t.Fatalf("got %v, want [1]", out)
+	}
+}

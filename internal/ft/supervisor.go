@@ -394,7 +394,8 @@ func (s *Supervisor) runIncarnation(inc int, alive []int, weights []float64, res
 			}()
 
 			inj := s.opt.Plan.Wrap(world.Comm(pos), gid)
-			trainer := distdl.NewTrainer(inj, s.job.NewModel(), s.job.Loss, s.job.NewOpt(), s.job.Cfg)
+			trainer := distdl.New(inj, s.job.NewModel(), s.job.Loss, s.job.NewOpt(),
+				distdl.WithConfig(s.job.Cfg)).(*distdl.Trainer)
 			if restoreBlob != nil {
 				if err := trainer.Restore(restoreBlob); err != nil {
 					resMu.Lock()

@@ -63,6 +63,12 @@ type Algo string
 // Allreduce algorithm choices. Auto picks recursive doubling for small
 // messages and ring for large ones, mirroring production MPI heuristics.
 const (
+	// AlgoDefault (the zero value) defers the choice to the world-wide
+	// default set with World.SetDefaultAlgo, falling back to AlgoAuto.
+	// Collectives with no algorithm parameter of their own
+	// (AllreduceScalar) route through this, so a run configured for e.g.
+	// the GCE fabric uses it for scalar metric reductions too.
+	AlgoDefault           Algo = ""
 	AlgoAuto              Algo = "auto"
 	AlgoNaive             Algo = "naive" // gather to root 0, reduce, broadcast
 	AlgoTree              Algo = "tree"  // binomial-tree reduce + binomial bcast
@@ -159,13 +165,7 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 // Allreduce combines data across all ranks with op so that every rank
 // obtains the same result, using the requested algorithm.
 func (c *Comm) Allreduce(data []float64, op ReduceOp, algo Algo) []float64 {
-	if algo == AlgoAuto {
-		if len(data) >= autoRingThreshold {
-			algo = AlgoRing
-		} else {
-			algo = AlgoRecursiveDoubling
-		}
-	}
+	algo = c.resolveAlgo(algo, len(data))
 	// The span carries the *resolved* algorithm so Auto runs are still
 	// attributable per-regime in the trace.
 	defer c.collective(KindAllreduce, len(data), string(algo))()
@@ -190,6 +190,22 @@ func (c *Comm) Allreduce(data []float64, op ReduceOp, algo Algo) []float64 {
 	default:
 		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %q", algo))
 	}
+}
+
+// resolveAlgo maps the indirect algorithm choices to a concrete one:
+// AlgoDefault defers to the world default (SetDefaultAlgo), and AlgoAuto
+// picks by message size, mirroring production MPI heuristics.
+func (c *Comm) resolveAlgo(algo Algo, elems int) Algo {
+	if algo == AlgoDefault {
+		algo = c.world.DefaultAlgo()
+	}
+	if algo == AlgoAuto {
+		if elems >= autoRingThreshold {
+			return AlgoRing
+		}
+		return AlgoRecursiveDoubling
+	}
+	return algo
 }
 
 // allreduceNaive gathers every vector at rank 0 sequentially, reduces, and
@@ -403,7 +419,7 @@ func (c *Comm) Alltoall(parts [][]float64) [][]float64 {
 // AllreduceScalar reduces a single value across ranks; a convenience for
 // metric aggregation (loss, accuracy counts).
 func (c *Comm) AllreduceScalar(v float64, op ReduceOp) float64 {
-	out := c.Allreduce([]float64{v}, op, AlgoRecursiveDoubling)
+	out := c.Allreduce([]float64{v}, op, AlgoDefault)
 	return out[0]
 }
 

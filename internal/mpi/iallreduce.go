@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Nonblocking allreduce (MPI_Iallreduce): the primitive overlapped
+// gradient synchronization is built from. A call returns immediately with
+// an AllreduceRequest handle; the chunk-pipelined ring allreduce runs in
+// the background on the rank's behalf while the caller keeps computing
+// (for distdl, the remaining backward pass). The arithmetic — chunking,
+// combine order — mirrors the blocking ring allreduce exactly, so for a
+// fixed input the result is bitwise identical to
+// Allreduce(data, op, AlgoRing); distdl relies on this to keep overlapped
+// and blocking training bit-for-bit equal.
+
+// Iallreduce tag space. Each in-flight operation owns two tags (one per
+// ring phase) carved from a block that sits above the iota-reserved
+// collective tags and below the SubComm blocks (which start at
+// maxUserTag*64). Sequence numbers cycle modulo iallreduceSeqMod, which
+// bounds simultaneously outstanding operations per rank — far above any
+// realistic gradient bucket count.
+const (
+	tagIallreduceBase = maxUserTag + 1<<16
+	iallreduceSeqMod  = 1 << 14
+)
+
+// iallreduceSegElems is the pipelining granularity: each ring step's chunk
+// is streamed as segments of at most this many elements, so a receiver
+// combines early segments while later ones are still in flight.
+const iallreduceSegElems = 4096
+
+// AllreduceRequest is a handle on a pending nonblocking allreduce started
+// by Iallreduce.
+type AllreduceRequest struct {
+	done      chan struct{}
+	out       []float64
+	err       any
+	completed time.Time
+}
+
+// Wait blocks until the allreduce completes and returns the reduced
+// vector (every rank obtains the same result). If the operation failed —
+// the world was revoked mid-collective — Wait re-panics with the original
+// error (RevokedError) on the caller's goroutine, exactly like a blocking
+// collective would.
+func (r *AllreduceRequest) Wait() []float64 {
+	<-r.done
+	if r.err != nil {
+		panic(r.err)
+	}
+	return r.out
+}
+
+// Test reports whether the operation has completed (successfully or not)
+// without blocking. After Test returns true, Wait returns immediately.
+func (r *AllreduceRequest) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// CompletedAt returns the wall-clock time the operation finished. Valid
+// only after completion (Test() == true or Wait returned); distdl uses it
+// to attribute how much of each bucket's communication was hidden behind
+// backward compute (the overlap_ratio metric).
+func (r *AllreduceRequest) CompletedAt() time.Time {
+	<-r.done
+	return r.completed
+}
+
+// Iallreduce starts a nonblocking ring allreduce of data under op and
+// returns immediately. The input is copied before Iallreduce returns, so
+// the caller may reuse its buffer (the same guarantee Isend gives).
+//
+// Like every collective, all ranks must issue their Iallreduce calls in
+// the same order: matching between ranks is positional (the k-th call on
+// each rank forms one collective). Multiple operations may be outstanding
+// at once — each gets its own tag pair, so concurrent bucket allreduces
+// do not cross-talk.
+func (c *Comm) Iallreduce(data []float64, op ReduceOp) *AllreduceRequest {
+	buf := append([]float64(nil), data...)
+	r := &AllreduceRequest{done: make(chan struct{})}
+	end := c.collective(KindIallreduce, len(data), "iallreduce-ring")
+	if c.Size() == 1 {
+		r.out = buf
+		r.completed = time.Now()
+		close(r.done)
+		end()
+		return r
+	}
+	seq := int(atomic.AddInt64(&c.world.iseq[c.rank], 1)-1) % iallreduceSeqMod
+	tagRS := tagIallreduceBase + 2*seq
+	go func() {
+		defer func() {
+			if e := recover(); e != nil {
+				r.err = e
+			}
+			r.completed = time.Now()
+			end()
+			close(r.done)
+		}()
+		c.iallreduceRing(buf, op, tagRS, tagRS+1)
+		r.out = buf
+	}()
+	return r
+}
+
+// iallreduceRing runs the bandwidth-optimal ring allreduce in place on
+// acc: a reduce-scatter pass followed by an allgather pass, with each
+// step's chunk streamed as pipelined segments. Chunk bounds and combine
+// order are identical to allreduceRing, so results match it bitwise.
+func (c *Comm) iallreduceRing(acc []float64, op ReduceOp, tagRS, tagAG int) {
+	p, r, n := c.Size(), c.rank, len(acc)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r - s + p) % p
+		recvChunk := (r - s - 1 + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		c.ringExchangeSegmented(right, left, tagRS, acc, slo, shi, rlo, rhi, op, true)
+	}
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r + 1 - s + p*2) % p
+		recvChunk := (r - s + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		c.ringExchangeSegmented(right, left, tagAG, acc, slo, shi, rlo, rhi, op, false)
+	}
+}
+
+// ringExchangeSegmented streams acc[slo:shi] to the right neighbor in
+// segments via Isend (all posted up front — sends are buffered and never
+// block) and drains the left neighbor's matching segments into
+// acc[rlo:rhi], combining (reduce-scatter phase) or copying (allgather
+// phase) each as it lands. Receives are posted one at a time: with a
+// single outstanding Irecv per (src, tag) pair the mailbox's FIFO
+// guarantee makes matching positional, so no per-segment tags are needed.
+func (c *Comm) ringExchangeSegmented(right, left, tag int, acc []float64, slo, shi, rlo, rhi int, op ReduceOp, reduce bool) {
+	for lo := slo; lo < shi; lo += iallreduceSegElems {
+		hi := lo + iallreduceSegElems
+		if hi > shi {
+			hi = shi
+		}
+		c.Isend(right, tag, acc[lo:hi])
+	}
+	for lo := rlo; lo < rhi; {
+		got, _ := c.Irecv(left, tag).Wait()
+		if reduce {
+			op.Combine(acc[lo:lo+len(got)], got)
+		} else {
+			copy(acc[lo:lo+len(got)], got)
+		}
+		lo += len(got)
+	}
+}

@@ -25,6 +25,9 @@ type Communicator interface {
 	Bcast(root int, data []float64) []float64
 	Reduce(root int, data []float64, op ReduceOp) []float64
 	Allreduce(data []float64, op ReduceOp, algo Algo) []float64
+	// Iallreduce starts a nonblocking ring allreduce and returns a handle
+	// to Test/Wait on; the caller overlaps computation with the transfer.
+	Iallreduce(data []float64, op ReduceOp) *AllreduceRequest
 	AllreduceMean(data []float64, algo Algo) []float64
 	AllreduceScalar(v float64, op ReduceOp) float64
 	ReduceScatter(data []float64, op ReduceOp) []float64

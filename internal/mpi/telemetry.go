@@ -30,13 +30,14 @@ const (
 	KindAlltoall
 	KindSplit
 	KindHierarchicalAllreduce
+	KindIallreduce
 	NumCollectiveKinds
 )
 
 var kindNames = [NumCollectiveKinds]string{
 	"barrier", "bcast", "reduce", "allreduce", "reduce-scatter",
 	"allgather", "gather", "scatter", "alltoall", "split",
-	"hierarchical-allreduce",
+	"hierarchical-allreduce", "iallreduce",
 }
 
 // String returns the kind's canonical lowercase name.

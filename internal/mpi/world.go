@@ -163,6 +163,15 @@ type World struct {
 	gce     *gceEngine
 	split   *splitState
 	revoked atomic.Bool
+	// iseq holds each rank's nonblocking-collective sequence counter
+	// (iallreduce.go): collectives are issued in the same order on every
+	// rank, so equal counters on different ranks name the same operation
+	// and carve it a private tag pair.
+	iseq []int64
+	// defaultAlgo is the world-wide allreduce algorithm that AlgoDefault
+	// resolves to (collectives.go); empty means AlgoAuto. Stored as a
+	// string so it can be swapped atomically while ranks run.
+	defaultAlgo atomic.Value // Algo
 	// tracer, when set, receives one span per collective call, tagged
 	// with payload bytes and algorithm (telemetry.go).
 	tracer atomic.Pointer[telemetry.Tracer]
@@ -173,7 +182,7 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("mpi: world size must be >=1, got %d", n))
 	}
-	w := &World{size: n, boxes: make([]*mailbox, n), stats: make([]Stats, n)}
+	w := &World{size: n, boxes: make([]*mailbox, n), stats: make([]Stats, n), iseq: make([]int64, n)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
@@ -204,6 +213,22 @@ func (w *World) Revoke(reason string) {
 
 // Revoked reports whether Revoke has been called.
 func (w *World) Revoked() bool { return w.revoked.Load() }
+
+// SetDefaultAlgo sets the allreduce algorithm that AlgoDefault (and
+// collectives with no explicit algorithm choice, like AllreduceScalar)
+// resolve to. The zero value restores AlgoAuto. Safe to call while ranks
+// run, but all ranks must observe the same value for a given collective —
+// set it before Run, or at a point where ranks are synchronized.
+func (w *World) SetDefaultAlgo(a Algo) { w.defaultAlgo.Store(a) }
+
+// DefaultAlgo returns the world default set by SetDefaultAlgo, or
+// AlgoAuto if none was set.
+func (w *World) DefaultAlgo() Algo {
+	if a, ok := w.defaultAlgo.Load().(Algo); ok && a != AlgoDefault {
+		return a
+	}
+	return AlgoAuto
+}
 
 // Comm returns the communicator handle for a rank.
 func (w *World) Comm(rank int) *Comm {

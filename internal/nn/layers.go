@@ -204,7 +204,18 @@ func (f *Flatten) Params() []*Param { return nil }
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer
+	// hook, when set, fires after each layer's Backward during
+	// Sequential.Backward (SetBackwardHook). Unexported so gob model
+	// snapshots (modelSnapshot) are unaffected.
+	hook BackwardHook
 }
+
+// BackwardHook observes the backward pass layer by layer: it is called
+// with the layer index right after that layer's Backward returns, i.e. at
+// the moment the layer's parameter gradients are final. Overlapped
+// gradient synchronization (distdl) hangs off this: the hook launches a
+// bucket's allreduce while backward continues on earlier layers.
+type BackwardHook func(layerIndex int, layer Layer)
 
 // NewSequential builds a model from the given layers.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
@@ -220,13 +231,23 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
-// Backward runs all layers in reverse order.
+// Backward runs all layers in reverse order, firing the backward hook
+// (if set) after each layer.
 func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		dout = s.Layers[i].Backward(dout)
+		if s.hook != nil {
+			s.hook(i, s.Layers[i])
+		}
 	}
 	return dout
 }
+
+// SetBackwardHook installs (or, with nil, removes) the per-layer backward
+// hook. At most one hook is active; the gradients of layer i are final
+// when the hook fires with that index, since gradient accumulation for a
+// layer happens entirely inside its own Backward.
+func (s *Sequential) SetBackwardHook(h BackwardHook) { s.hook = h }
 
 // Params concatenates all layers' parameters in order.
 func (s *Sequential) Params() []*Param {

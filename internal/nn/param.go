@@ -48,11 +48,17 @@ func NumParams(params []*Param) int {
 // FlattenValues copies all parameter values into one flat vector in list
 // order (used to broadcast initial weights across ranks).
 func FlattenValues(params []*Param) []float64 {
-	out := make([]float64, 0, NumParams(params))
+	return FlattenValuesInto(nil, params)
+}
+
+// FlattenValuesInto is FlattenValues writing into dst's storage (grown if
+// needed), so a caller flattening every step can reuse one buffer.
+func FlattenValuesInto(dst []float64, params []*Param) []float64 {
+	dst = growTo(dst, NumParams(params))
 	for _, p := range params {
-		out = append(out, p.Value.Data()...)
+		dst = append(dst, p.Value.Data()...)
 	}
-	return out
+	return dst
 }
 
 // UnflattenValues writes a flat vector (as produced by FlattenValues) back
@@ -72,11 +78,27 @@ func UnflattenValues(params []*Param, flat []float64) {
 // FlattenGrads copies all gradients into one flat vector in list order
 // (the payload of the distributed gradient allreduce).
 func FlattenGrads(params []*Param) []float64 {
-	out := make([]float64, 0, NumParams(params))
+	return FlattenGradsInto(nil, params)
+}
+
+// FlattenGradsInto is FlattenGrads writing into dst's storage (grown if
+// needed). The hot path of a distributed training step flattens the full
+// gradient every iteration; reusing a trainer-owned buffer removes that
+// per-step allocation.
+func FlattenGradsInto(dst []float64, params []*Param) []float64 {
+	dst = growTo(dst, NumParams(params))
 	for _, p := range params {
-		out = append(out, p.Grad.Data()...)
+		dst = append(dst, p.Grad.Data()...)
 	}
-	return out
+	return dst
+}
+
+// growTo returns dst emptied, with capacity for at least n elements.
+func growTo(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, 0, n)
+	}
+	return dst[:0]
 }
 
 // UnflattenGrads writes a flat gradient vector back into the parameters.
