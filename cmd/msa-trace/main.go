@@ -58,6 +58,10 @@ func main() {
 
 	tracer := telemetry.NewTracer(0)
 	reg := telemetry.NewRegistry()
+	// Process-wide heap / GC gauges alongside the training counters: the
+	// metrics dump shows whether workspace pooling kept the run off the
+	// allocator.
+	telemetry.RegisterMemMetrics(reg)
 	cfg := core.DDPConfig{
 		Workers: *workers, Epochs: *epochs, Batch: *batch, BaseLR: 0.01,
 		Algo: mpi.Algo(*algo), FP16: *fp16, ZeRO: *zero, Seed: *seed,

@@ -32,8 +32,16 @@ func DistributedPredict(c mpi.Communicator, model *nn.Sequential, xs *tensor.Ten
 	p, r := c.Size(), c.Rank()
 	lo, hi := r*n/p, (r+1)*n/p
 
-	// The index buffer is allocated once and resliced per minibatch.
+	// The index buffer is allocated once and resliced per minibatch; batch
+	// tensors and activation outputs come from a local workspace recycled
+	// per minibatch, so the loop's steady state allocates nothing beyond
+	// the result accumulation. If the model carries its own workspace (a
+	// trainer's), its per-forward borrows are recycled per minibatch too,
+	// so a long inference sweep cannot grow the trainer's pool.
 	idx := make([]int, batch)
+	ws := tensor.NewWorkspace()
+	mws := model.Workspace()
+	rowShape := xs.Shape()[1:]
 	var local []float64
 	for b := lo; b < hi; b += batch {
 		e := b + batch
@@ -44,8 +52,10 @@ func DistributedPredict(c mpi.Communicator, model *nn.Sequential, xs *tensor.Ten
 		for i := range ids {
 			ids[i] = b + i
 		}
-		bx := gatherRows(xs, ids)
-		out := nn.ApplyActivation(model.Forward(bx, false), act)
+		ws.ReleaseAll()
+		mws.ReleaseAll()
+		bx := gatherRowsInto(ws.Get(append([]int{len(ids)}, rowShape...)...), xs, ids)
+		out := nn.ApplyActivationWS(ws, model.Forward(bx, false), act)
 		if local == nil {
 			local = make([]float64, 0, (hi-lo)*out.Dim(1))
 		}

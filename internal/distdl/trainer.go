@@ -83,6 +83,16 @@ type Trainer struct {
 
 	params []*nn.Param
 	step   int
+	// ws is the trainer-owned tensor workspace threaded through the model
+	// and loss: every forward/backward temporary is borrowed from it and
+	// recycled at the top of the next Step, so steady-state training
+	// allocates (almost) nothing. Results are bitwise identical to the
+	// allocating path — pooled buffers are zero-filled on Get and the same
+	// kernels run in the same order.
+	ws *tensor.Workspace
+	// hookFn caches the backwardHook method value so overlapped Steps do
+	// not allocate a new closure per step.
+	hookFn nn.BackwardHook
 	// GradBytesSent accumulates the simulated wire volume of gradient
 	// exchanges from this rank (4 bytes/elem fp32 view, 2 for fp16).
 	GradBytesSent int64
@@ -133,7 +143,10 @@ func newTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt n
 	if cfg.Overlap && cfg.BucketBytes <= 0 {
 		cfg.BucketBytes = DefaultBucketBytes
 	}
-	t := &Trainer{Comm: comm, Model: model, Loss: loss, Opt: opt, Cfg: cfg, params: model.Params()}
+	t := &Trainer{Comm: comm, Model: model, Loss: loss, Opt: opt, Cfg: cfg,
+		params: model.Params(), ws: tensor.NewWorkspace()}
+	model.SetWorkspace(t.ws)
+	t.hookFn = t.backwardHook
 	if cfg.BucketBytes > 0 {
 		t.bkt = NewBucketer(model, cfg.BucketBytes)
 		t.inflight = make([]*mpi.AllreduceRequest, t.bkt.NumBuckets())
@@ -166,19 +179,23 @@ func (t *Trainer) Step(x, y *tensor.Tensor) float64 {
 	rank := t.Comm.Rank()
 	stepStart := tr.Start()
 
+	// Recycle every workspace tensor borrowed by the previous step (and by
+	// any evaluation forwards run since) back to the pool.
+	t.ws.ReleaseAll()
+
 	overlapped := t.bkt != nil && t.Cfg.Overlap
 	if overlapped {
 		t.bkt.Reset()
 		for i := range t.inflight {
 			t.inflight[i] = nil
 		}
-		t.Model.SetBackwardHook(t.backwardHook)
+		t.Model.SetBackwardHook(t.hookFn)
 	}
 
 	c0 := time.Now()
 	t.Model.ZeroGrads()
 	out := t.Model.Forward(x, true)
-	loss, grad := t.Loss.Forward(out, y)
+	loss, grad := nn.LossForward(t.ws, t.Loss, out, y)
 	t.Model.Backward(grad)
 	if overlapped {
 		t.Model.SetBackwardHook(nil)
@@ -286,6 +303,10 @@ func (t *Trainer) backwardHook(layerIdx int, _ nn.Layer) {
 }
 
 // launchBucket packs bucket bi and starts its nonblocking ring allreduce.
+// The bucket's reused pack buffer is handed to the ring directly
+// (IallreduceShared) — no wire copy per launch. This is safe because
+// drainBuckets waits on every request before Step returns, so the buffer
+// is quiescent again before the next Step's Pack overwrites it.
 func (t *Trainer) launchBucket(bi int) {
 	bk := t.bkt.Buckets()[bi]
 	flat := bk.Pack()
@@ -293,7 +314,7 @@ func (t *Trainer) launchBucket(bi int) {
 		CompressFP16(flat)
 	}
 	t.launched[bi] = time.Now()
-	t.inflight[bi] = t.Comm.Iallreduce(flat, mpi.OpSum)
+	t.inflight[bi] = t.Comm.IallreduceShared(flat, mpi.OpSum)
 }
 
 // drainBuckets waits for every in-flight bucket allreduce (in launch
@@ -373,6 +394,12 @@ func (t *Trainer) NumBuckets() int {
 // StepCount returns the number of optimizer steps taken.
 func (t *Trainer) StepCount() int { return t.step }
 
+// Workspace exposes the trainer-owned tensor pool. Evaluation loops that
+// run many Model.Forward calls between optimizer steps should call
+// ReleaseAll between batches so eval borrows are recycled instead of
+// accumulating until the next Step.
+func (t *Trainer) Workspace() *tensor.Workspace { return t.ws }
+
 // AverageScalar averages a per-rank metric across the world (used for
 // validation accuracy / loss aggregation).
 func (t *Trainer) AverageScalar(v float64) float64 {
@@ -387,13 +414,18 @@ func GatherBatch(xs, ys *tensor.Tensor, idx []int) (*tensor.Tensor, *tensor.Tens
 }
 
 func gatherRows(src *tensor.Tensor, idx []int) *tensor.Tensor {
+	outShape := append([]int{len(idx)}, src.Shape()[1:]...)
+	return gatherRowsInto(tensor.New(outShape...), src, idx)
+}
+
+// gatherRowsInto copies the selected rows of src into out, which must
+// have shape (len(idx), src dims 1..).
+func gatherRowsInto(out, src *tensor.Tensor, idx []int) *tensor.Tensor {
 	shape := src.Shape()
 	rowLen := 1
 	for _, d := range shape[1:] {
 		rowLen *= d
 	}
-	outShape := append([]int{len(idx)}, shape[1:]...)
-	out := tensor.New(outShape...)
 	for i, r := range idx {
 		if r < 0 || r >= shape[0] {
 			panic(fmt.Sprintf("distdl: sample index %d out of range [0,%d)", r, shape[0]))

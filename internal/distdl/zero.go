@@ -38,9 +38,15 @@ type ZeROTrainer struct {
 	CommNs    int64
 
 	// flatBuf and valBuf are the reused flat gradient / value buffers
-	// (nn.FlattenGradsInto / FlattenValuesInto).
+	// (nn.FlattenGradsInto / FlattenValuesInto); fullBuf is rank 0's
+	// reused concatenation scratch for the uneven-shard gather path.
 	flatBuf []float64
 	valBuf  []float64
+	fullBuf []float64
+
+	// ws pools every forward/backward temporary, recycled per Step (see
+	// Trainer.ws).
+	ws *tensor.Workspace
 }
 
 // NewZeROTrainer builds a sharded-optimizer replica.
@@ -69,7 +75,9 @@ func newZeROTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, c
 		params: params, n: n, lo: lo, hi: hi,
 		m: make([]float64, hi-lo), v: make([]float64, hi-lo),
 		beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		ws: tensor.NewWorkspace(),
 	}
+	model.SetWorkspace(t.ws)
 	flat := nn.FlattenValues(params)
 	flat = comm.Bcast(0, flat)
 	nn.UnflattenValues(params, flat)
@@ -86,10 +94,12 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 	rank := t.Comm.Rank()
 	stepStart := tr.Start()
 
+	t.ws.ReleaseAll()
+
 	c0 := time.Now()
 	t.Model.ZeroGrads()
 	out := t.Model.Forward(x, true)
-	loss, grad := t.Loss.Forward(out, y)
+	loss, grad := nn.LossForward(t.ws, t.Loss, out, y)
 	t.Model.Backward(grad)
 	t.ComputeNs += time.Since(c0).Nanoseconds()
 	tr.End(rank, telemetry.CatCompute, "fwd-bwd", stepStart, 0, "")
@@ -146,10 +156,14 @@ func (t *ZeROTrainer) Step(x, y *tensor.Tensor) float64 {
 			parts := t.Comm.Gather(0, local)
 			var full []float64
 			if t.Comm.Rank() == 0 {
-				full = make([]float64, 0, t.n)
+				if cap(t.fullBuf) < t.n {
+					t.fullBuf = make([]float64, 0, t.n)
+				}
+				full = t.fullBuf[:0]
 				for _, pt := range parts {
 					full = append(full, pt...)
 				}
+				t.fullBuf = full
 			}
 			full = t.Comm.Bcast(0, full)
 			nn.UnflattenValues(t.params, full)
@@ -181,3 +195,6 @@ func (t *ZeROTrainer) CommFraction() float64 {
 
 // StepCount returns optimizer steps taken.
 func (t *ZeROTrainer) StepCount() int { return t.step }
+
+// Workspace exposes the trainer-owned tensor pool (see Trainer.Workspace).
+func (t *ZeROTrainer) Workspace() *tensor.Workspace { return t.ws }

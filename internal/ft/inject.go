@@ -157,6 +157,11 @@ func (inj *Injector) Iallreduce(data []float64, op mpi.ReduceOp) *mpi.AllreduceR
 	return inj.inner.Iallreduce(data, op)
 }
 
+func (inj *Injector) IallreduceShared(buf []float64, op mpi.ReduceOp) *mpi.AllreduceRequest {
+	inj.straggle()
+	return inj.inner.IallreduceShared(buf, op)
+}
+
 func (inj *Injector) AllreduceMean(data []float64, algo mpi.Algo) []float64 {
 	inj.straggle()
 	return inj.inner.AllreduceMean(data, algo)

@@ -157,6 +157,7 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 			child := (vr + dist + root) % p
 			part, _ := c.Recv(child, tagReduce)
 			op.Combine(acc, part)
+			c.world.wire.put(part)
 		}
 	}
 	return acc
@@ -218,6 +219,7 @@ func (c *Comm) allreduceNaive(data []float64, op ReduceOp) []float64 {
 		for src := 1; src < p; src++ {
 			part, _ := c.Recv(src, tagReduce)
 			op.Combine(acc, part)
+			c.world.wire.put(part)
 		}
 		for dst := 1; dst < p; dst++ {
 			c.Send(dst, tagBcast, acc)
@@ -244,7 +246,8 @@ func (c *Comm) allreduceRing(data []float64, op ReduceOp) []float64 {
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
 	// Reduce-scatter: after step s, rank r holds the partial reduction of
-	// chunk (r-s) from ranks r-s..r.
+	// chunk (r-s) from ranks r-s..r. Consumed chunks go back to the wire
+	// pool (see wirePool) — the combine/copy below is their last use.
 	for s := 0; s < p-1; s++ {
 		sendChunk := (r - s + p) % p
 		recvChunk := (r - s - 1 + p*2) % p
@@ -252,6 +255,7 @@ func (c *Comm) allreduceRing(data []float64, op ReduceOp) []float64 {
 		rlo, rhi := chunkBounds(n, p, recvChunk)
 		got := c.SendRecv(right, tagRingRS, acc[slo:shi], left, tagRingRS)
 		op.Combine(acc[rlo:rhi], got)
+		c.world.wire.put(got)
 	}
 	// Allgather: circulate the fully reduced chunks.
 	for s := 0; s < p-1; s++ {
@@ -261,6 +265,7 @@ func (c *Comm) allreduceRing(data []float64, op ReduceOp) []float64 {
 		rlo, _ := chunkBounds(n, p, recvChunk)
 		got := c.SendRecv(right, tagRingAG, acc[slo:shi], left, tagRingAG)
 		copy(acc[rlo:rlo+len(got)], got)
+		c.world.wire.put(got)
 	}
 	return acc
 }
@@ -287,12 +292,14 @@ func (c *Comm) allreduceRecDoubling(data []float64, op ReduceOp) []float64 {
 	if r < rem {
 		part, _ := c.Recv(r+p2, tagRecAdjust)
 		op.Combine(acc, part)
+		c.world.wire.put(part)
 	}
 	// Recursive doubling among the power-of-two group.
 	for dist := 1; dist < p2; dist *= 2 {
 		partner := r ^ dist
 		got := c.SendRecv(partner, tagRecDouble, acc, partner, tagRecDouble)
 		op.Combine(acc, got)
+		c.world.wire.put(got)
 	}
 	// Post-adjust: return results to the folded ranks.
 	if r < rem {
@@ -322,6 +329,7 @@ func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
 		rlo, rhi := chunkBounds(n, p, recvChunk)
 		got := c.SendRecv(right, tagRingRS, acc[slo:shi], left, tagRingRS)
 		op.Combine(acc[rlo:rhi], got)
+		c.world.wire.put(got)
 	}
 	lo, hi := chunkBounds(n, p, r)
 	return append([]float64(nil), acc[lo:hi]...)
@@ -345,6 +353,7 @@ func (c *Comm) Allgather(data []float64) []float64 {
 		got, _ := c.Recv(left, tagAllgather)
 		cur = (cur - 1 + p) % p
 		copy(out[cur*n:(cur+1)*n], got)
+		c.world.wire.put(got)
 	}
 	return out
 }

@@ -34,7 +34,11 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	if tag < 0 {
 		panic("mpi: negative tag")
 	}
-	buf := append([]float64(nil), data...)
+	// The defensive copy goes through the world's wire pool: internal
+	// collectives release consumed payloads back to it, so steady-state
+	// traffic recirculates instead of allocating per message.
+	buf := c.world.wire.get(len(data))
+	copy(buf, data)
 	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
 	atomic.AddInt64(&c.world.stats[c.rank].MessagesSent, 1)
 	atomic.AddInt64(&c.world.stats[c.rank].ElemsSent, int64(len(data)))

@@ -83,9 +83,17 @@ func (r *AllreduceRequest) CompletedAt() time.Time {
 // at once — each gets its own tag pair, so concurrent bucket allreduces
 // do not cross-talk.
 func (c *Comm) Iallreduce(data []float64, op ReduceOp) *AllreduceRequest {
-	buf := append([]float64(nil), data...)
+	return c.IallreduceShared(append([]float64(nil), data...), op)
+}
+
+// IallreduceShared is Iallreduce minus the defensive input copy: the ring
+// reduction runs in place on buf, and Wait returns buf itself. The caller
+// must not read or write buf between the call and Wait. Hot paths that
+// already own a per-bucket wire buffer (distdl's overlapped gradient sync)
+// use this to launch every bucket with zero allocation.
+func (c *Comm) IallreduceShared(buf []float64, op ReduceOp) *AllreduceRequest {
 	r := &AllreduceRequest{done: make(chan struct{})}
-	end := c.collective(KindIallreduce, len(data), "iallreduce-ring")
+	end := c.collective(KindIallreduce, len(buf), "iallreduce-ring")
 	if c.Size() == 1 {
 		r.out = buf
 		r.completed = time.Now()
@@ -135,27 +143,34 @@ func (c *Comm) iallreduceRing(acc []float64, op ReduceOp, tagRS, tagAG int) {
 }
 
 // ringExchangeSegmented streams acc[slo:shi] to the right neighbor in
-// segments via Isend (all posted up front — sends are buffered and never
-// block) and drains the left neighbor's matching segments into
-// acc[rlo:rhi], combining (reduce-scatter phase) or copying (allgather
-// phase) each as it lands. Receives are posted one at a time: with a
-// single outstanding Irecv per (src, tag) pair the mailbox's FIFO
-// guarantee makes matching positional, so no per-segment tags are needed.
+// segments (all posted up front — sends are buffered and never block) and
+// drains the left neighbor's matching segments into acc[rlo:rhi], combining
+// (reduce-scatter phase) or copying (allgather phase) each as it lands.
+// Receives are drained one at a time: with a single outstanding receive per
+// (src, tag) pair the mailbox's FIFO guarantee makes matching positional,
+// so no per-segment tags are needed. Send/Recv are used directly rather
+// than Isend/Irecv — the semantics are identical (Send never blocks, and a
+// revocation panic unwinds to IallreduceShared's recover either way) but
+// the direct calls avoid a request handle, done channel, and helper
+// goroutine per segment. Each consumed segment goes back to the wire pool;
+// together with Send drawing from that pool, a steady-state ring allreduce
+// performs no per-message heap allocation.
 func (c *Comm) ringExchangeSegmented(right, left, tag int, acc []float64, slo, shi, rlo, rhi int, op ReduceOp, reduce bool) {
 	for lo := slo; lo < shi; lo += iallreduceSegElems {
 		hi := lo + iallreduceSegElems
 		if hi > shi {
 			hi = shi
 		}
-		c.Isend(right, tag, acc[lo:hi])
+		c.Send(right, tag, acc[lo:hi])
 	}
 	for lo := rlo; lo < rhi; {
-		got, _ := c.Irecv(left, tag).Wait()
+		got, _ := c.Recv(left, tag)
 		if reduce {
 			op.Combine(acc[lo:lo+len(got)], got)
 		} else {
 			copy(acc[lo:lo+len(got)], got)
 		}
 		lo += len(got)
+		c.world.wire.put(got)
 	}
 }

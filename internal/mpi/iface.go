@@ -28,6 +28,10 @@ type Communicator interface {
 	// Iallreduce starts a nonblocking ring allreduce and returns a handle
 	// to Test/Wait on; the caller overlaps computation with the transfer.
 	Iallreduce(data []float64, op ReduceOp) *AllreduceRequest
+	// IallreduceShared is Iallreduce without the defensive input copy: the
+	// reduction runs in place on the caller's buffer, which must stay
+	// untouched until Wait returns it.
+	IallreduceShared(buf []float64, op ReduceOp) *AllreduceRequest
 	AllreduceMean(data []float64, algo Algo) []float64
 	AllreduceScalar(v float64, op ReduceOp) float64
 	ReduceScatter(data []float64, op ReduceOp) []float64

@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// wirePool recycles point-to-point message payloads. Send copies every
+// payload into a buffer drawn from its world's pool (the copy is what makes
+// Send asynchronous-buffered), and the ring collectives — which fully
+// consume a received segment in their combine/copy step — return buffers
+// here instead of dropping them for the GC. In steady state a training
+// step's entire wire traffic (2·n·(p-1)/p elements per rank per allreduce)
+// circulates through the free lists without touching the allocator.
+//
+// Buffers handed to user code by Recv are simply never returned: the pool
+// refills on demand, so external callers keep MPI's "receiver owns the
+// payload" contract with no release obligation. Only call sites that can
+// prove the buffer is dead (the internal collectives) release.
+//
+// Free lists are size-bucketed by power-of-two capacity, mirroring
+// tensor.Workspace; unlike a Workspace the pool is shared by all ranks of a
+// world, so a mutex guards it. The critical sections are a few loads and
+// stores — contention is negligible next to the copies around them.
+type wirePool struct {
+	mu   sync.Mutex
+	free [wireClasses][][]float64
+}
+
+const wireClasses = 48
+
+// wireClass returns the free-list class for n float64s: the exponent of
+// the next power of two ≥ n.
+func wireClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a length-n buffer with power-of-two capacity, recycled when
+// possible. Contents are unspecified — every caller overwrites the full
+// length immediately (Send copies its payload in).
+func (p *wirePool) get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := wireClass(n)
+	p.mu.Lock()
+	if fl := p.free[c]; len(fl) > 0 {
+		b := fl[len(fl)-1]
+		fl[len(fl)-1] = nil
+		p.free[c] = fl[:len(fl)-1]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	capN := 1
+	if n > 1 {
+		capN = 1 << c
+	}
+	return make([]float64, n, capN)
+}
+
+// put returns a dead buffer to its free list. Buffers with non-power-of-two
+// capacity (not allocated by get) are ignored rather than pooled, so a
+// stray release of a foreign slice cannot corrupt the class invariant.
+func (p *wirePool) put(b []float64) {
+	n := cap(b)
+	if n == 0 {
+		return
+	}
+	c := wireClass(n)
+	if n != 1 && n != 1<<c {
+		return
+	}
+	p.mu.Lock()
+	p.free[c] = append(p.free[c], b)
+	p.mu.Unlock()
+}

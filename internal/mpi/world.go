@@ -175,6 +175,9 @@ type World struct {
 	// tracer, when set, receives one span per collective call, tagged
 	// with payload bytes and algorithm (telemetry.go).
 	tracer atomic.Pointer[telemetry.Tracer]
+	// wire recycles Send payload buffers (wirepool.go); the zero value is
+	// ready to use.
+	wire wirePool
 }
 
 // NewWorld creates a world with n ranks. Panics if n < 1.

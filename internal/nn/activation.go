@@ -23,11 +23,18 @@ const (
 // Argmax is preserved for every choice (softmax and sigmoid are monotone),
 // so classification decisions are activation-independent.
 func ApplyActivation(logits *tensor.Tensor, act Activation) *tensor.Tensor {
+	return ApplyActivationWS(nil, logits, act)
+}
+
+// ApplyActivationWS is ApplyActivation with the probability matrix borrowed
+// from ws (allocated fresh when ws is nil). For ActIdentity the input is
+// returned unchanged, never a borrow.
+func ApplyActivationWS(ws *tensor.Workspace, logits *tensor.Tensor, act Activation) *tensor.Tensor {
 	switch act {
 	case ActSoftmax:
-		return tensor.SoftmaxRows(logits)
+		return tensor.SoftmaxRowsInto(ws.Get(logits.Shape()...), logits)
 	case ActSigmoid:
-		return tensor.Apply(logits, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		return tensor.ApplyInto(ws.Get(logits.Shape()...), logits, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 	default:
 		return logits
 	}

@@ -20,7 +20,11 @@ type Conv2D struct {
 	cols                  *tensor.Tensor // cached im2col matrix
 	inShape               []int
 	outH, outW, batchSize int
+	ws                    *tensor.Workspace
 }
+
+// SetWorkspace routes the im2col/col2im scratch through ws.
+func (c *Conv2D) SetWorkspace(ws *tensor.Workspace) { c.ws = ws }
 
 // NewConv2D creates a convolution with He-normal initialization.
 func NewConv2D(rng *rand.Rand, name string, inC, outC, k, stride, pad int) *Conv2D {
@@ -40,12 +44,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.batchSize = n
 	c.outH = tensor.ConvDims(h, c.KH, c.Stride, c.PadH)
 	c.outW = tensor.ConvDims(w, c.KW, c.Stride, c.PadW)
-	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
-	flat := tensor.MatMul(c.cols, c.W.Value) // (N·OH·OW, OutC)
+	rows := n * c.outH * c.outW
+	c.cols = tensor.Im2ColInto(c.ws.Get(rows, c.InC*c.KH*c.KW), x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	flat := c.ws.Get(rows, c.OutC) // (N·OH·OW, OutC)
+	tensor.MatMulInto(flat, c.cols, c.W.Value)
 	flat.AddRowVector(c.B.Value)
 	// Rearrange (N·OH·OW, OutC) → (N, OutC, OH, OW).
-	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	out := c.ws.Get(n, c.OutC, c.outH, c.outW)
 	c.scatterToNCHW(flat, out)
+	c.ws.Put(flat)
 	return out
 }
 
@@ -65,10 +72,9 @@ func (c *Conv2D) scatterToNCHW(flat, out *tensor.Tensor) {
 	}
 }
 
-// gatherFromNCHW is the inverse of scatterToNCHW.
-func (c *Conv2D) gatherFromNCHW(img *tensor.Tensor) *tensor.Tensor {
+// gatherFromNCHW is the inverse of scatterToNCHW, writing into flat.
+func (c *Conv2D) gatherFromNCHW(flat, img *tensor.Tensor) *tensor.Tensor {
 	n, oc, oh, ow := img.Dim(0), img.Dim(1), img.Dim(2), img.Dim(3)
-	flat := tensor.New(n*oh*ow, oc)
 	id, fd := img.Data(), flat.Data()
 	for b := 0; b < n; b++ {
 		for y := 0; y < oh; y++ {
@@ -86,11 +92,24 @@ func (c *Conv2D) gatherFromNCHW(img *tensor.Tensor) *tensor.Tensor {
 // Backward computes filter/bias gradients and the input gradient via the
 // col2im adjoint.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dflat := c.gatherFromNCHW(dout) // (N·OH·OW, OutC)
-	c.W.Grad.AddInPlace(tensor.TMatMul(c.cols, dflat))
-	c.B.Grad.AddInPlace(tensor.SumAxis0(dflat))
-	dcols := tensor.MatMulT(dflat, c.W.Value) // (N·OH·OW, C·KH·KW)
-	return tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	rows := c.batchSize * c.outH * c.outW
+	dflat := c.ws.Get(rows, c.OutC) // (N·OH·OW, OutC)
+	c.gatherFromNCHW(dflat, dout)
+	dW := c.ws.Get(c.W.Value.Shape()...)
+	tensor.TMatMulInto(dW, c.cols, dflat)
+	c.W.Grad.AddInPlace(dW)
+	c.ws.Put(dW)
+	dB := c.ws.Get(c.B.Value.Shape()...)
+	tensor.SumAxis0Into(dB, dflat)
+	c.B.Grad.AddInPlace(dB)
+	c.ws.Put(dB)
+	dcols := c.ws.Get(rows, c.InC*c.KH*c.KW) // (N·OH·OW, C·KH·KW)
+	tensor.MatMulTInto(dcols, dflat, c.W.Value)
+	c.ws.Put(dflat)
+	din := c.ws.Get(c.inShape...)
+	tensor.Col2ImInto(din, dcols, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	c.ws.Put(dcols)
+	return din
 }
 
 // Params returns W and b.
@@ -99,24 +118,34 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 // MaxPool is a 2-D max-pooling layer over (N, C, H, W).
 type MaxPool struct {
 	K, Stride int
-	arg       []int
+	arg       []int // persistent argmax scratch, regrown only on batch-shape change
 	inShape   []int
+	ws        *tensor.Workspace
 }
 
 // NewMaxPool creates a pooling layer with window k and stride.
 func NewMaxPool(k, stride int) *MaxPool { return &MaxPool{K: k, Stride: stride} }
 
+// SetWorkspace routes the layer's temporaries through ws.
+func (m *MaxPool) SetWorkspace(ws *tensor.Workspace) { m.ws = ws }
+
 // Forward applies max pooling and records argmax positions.
 func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	m.inShape = append(m.inShape[:0], x.Shape()...)
-	out, arg := tensor.MaxPool2D(x, m.K, m.Stride)
-	m.arg = arg
+	oh := tensor.ConvDims(x.Dim(2), m.K, m.Stride, 0)
+	ow := tensor.ConvDims(x.Dim(3), m.K, m.Stride, 0)
+	out := m.ws.Get(x.Dim(0), x.Dim(1), oh, ow)
+	if cap(m.arg) < out.Size() {
+		m.arg = make([]int, out.Size())
+	}
+	m.arg = m.arg[:out.Size()]
+	tensor.MaxPool2DInto(out, m.arg, x, m.K, m.Stride)
 	return out
 }
 
 // Backward routes gradients to the argmax positions.
 func (m *MaxPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return tensor.MaxPool2DBackward(dout, m.arg, m.inShape)
+	return tensor.MaxPool2DBackwardInto(m.ws.Get(m.inShape...), dout, m.arg)
 }
 
 // Params returns nil.
@@ -125,17 +154,21 @@ func (m *MaxPool) Params() []*Param { return nil }
 // GlobalAvgPool2D reduces (N,C,H,W) to (N,C).
 type GlobalAvgPool2D struct {
 	h, w int
+	ws   *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (g *GlobalAvgPool2D) SetWorkspace(ws *tensor.Workspace) { g.ws = ws }
 
 // Forward averages each feature map.
 func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g.h, g.w = x.Dim(2), x.Dim(3)
-	return tensor.GlobalAvgPool(x)
+	return tensor.GlobalAvgPoolInto(g.ws.Get(x.Dim(0), x.Dim(1)), x)
 }
 
 // Backward broadcasts the gradient uniformly over each map.
 func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return tensor.GlobalAvgPoolBackward(dout, g.h, g.w)
+	return tensor.GlobalAvgPoolBackwardInto(g.ws.Get(dout.Dim(0), dout.Dim(1), g.h, g.w), dout)
 }
 
 // Params returns nil.
@@ -153,9 +186,15 @@ type BatchNorm2D struct {
 	C            int
 	xhat         *tensor.Tensor
 	invStd       []float64
+	meanBuf      []float64 // persistent per-channel stat scratch
+	varBuf       []float64
 	inShape      []int
 	countPerChan float64
+	ws           *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (b *BatchNorm2D) SetWorkspace(ws *tensor.Workspace) { b.ws = ws }
 
 // NewBatchNorm2D creates a batch-norm layer for c channels.
 func NewBatchNorm2D(name string, c int) *BatchNorm2D {
@@ -174,8 +213,15 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.inShape = append(b.inShape[:0], x.Shape()...)
 	cnt := float64(n * h * w)
 	b.countPerChan = cnt
-	mean := make([]float64, c)
-	variance := make([]float64, c)
+	if cap(b.meanBuf) < c {
+		b.meanBuf = make([]float64, c)
+		b.varBuf = make([]float64, c)
+	}
+	mean := b.meanBuf[:c]
+	variance := b.varBuf[:c]
+	for ch := 0; ch < c; ch++ {
+		mean[ch], variance[ch] = 0, 0
+	}
 	if train {
 		for ch := 0; ch < c; ch++ {
 			s := 0.0
@@ -211,8 +257,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for ch := 0; ch < c; ch++ {
 		b.invStd[ch] = 1 / math.Sqrt(variance[ch]+b.Eps)
 	}
-	b.xhat = tensor.New(x.Shape()...)
-	out := tensor.New(x.Shape()...)
+	b.xhat = b.ws.Get(x.Shape()...)
+	out := b.ws.Get(x.Shape()...)
 	for bi := 0; bi < n; bi++ {
 		for ch := 0; ch < c; ch++ {
 			base := ((bi*c + ch) * h) * w
@@ -231,7 +277,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements the standard batch-norm gradient.
 func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := b.inShape[0], b.inShape[1], b.inShape[2], b.inShape[3]
-	din := tensor.New(b.inShape...)
+	din := b.ws.Get(b.inShape...)
 	cnt := b.countPerChan
 	for ch := 0; ch < c; ch++ {
 		// Accumulate per-channel sums.
@@ -272,6 +318,18 @@ type Residual struct {
 	relu     ReLU
 	x        *tensor.Tensor
 	sum      *tensor.Tensor
+	ws       *tensor.Workspace
+}
+
+// SetWorkspace routes the block's temporaries (and both sub-paths')
+// through ws.
+func (r *Residual) SetWorkspace(ws *tensor.Workspace) {
+	r.ws = ws
+	r.relu.SetWorkspace(ws)
+	r.Main.SetWorkspace(ws)
+	if r.Shortcut != nil {
+		r.Shortcut.SetWorkspace(ws)
+	}
 }
 
 // NewResidual builds a basic block with inC→outC channels and the given
@@ -305,7 +363,7 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		s = x
 	}
-	r.sum = tensor.Add(f, s)
+	r.sum = tensor.AddInto(r.ws.Get(f.Shape()...), f, s)
 	return r.relu.Forward(r.sum, train)
 }
 
@@ -319,7 +377,7 @@ func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	} else {
 		dshort = dsum
 	}
-	return tensor.Add(dmain, dshort)
+	return tensor.AddInto(r.ws.Get(dmain.Shape()...), dmain, dshort)
 }
 
 // Params returns parameters of both paths.

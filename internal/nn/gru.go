@@ -27,7 +27,14 @@ type GRU struct {
 	// Per-timestep caches for backpropagation through time.
 	xs, hs, zs, rs, hhs []*tensor.Tensor
 	n, t                int
+	ws                  *tensor.Workspace
 }
+
+// SetWorkspace routes the recurrence's per-timestep scratch and BPTT
+// caches through ws. With the pool attached, gate temporaries are borrowed
+// and returned inside each timestep, so the whole time loop reuses a
+// handful of (N,H) buffers instead of allocating ~16 tensors per step.
+func (g *GRU) SetWorkspace(ws *tensor.Workspace) { g.ws = ws }
 
 // NewGRU creates a GRU layer with Glorot-uniform input weights and
 // orthogonal-ish (scaled normal) recurrent weights.
@@ -65,31 +72,47 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g.rs = g.rs[:0]
 	g.hhs = g.hhs[:0]
 
-	h := tensor.New(n, g.H) // h_0 = 0
+	h := g.ws.Get(n, g.H) // h_0 = 0
 	g.hs = append(g.hs, h)
-	out := tensor.New(n, t, g.H)
+	out := g.ws.Get(n, t, g.H)
+	// tmp holds each gate's recurrent matmul before it is accumulated; it
+	// cycles through the pool once per gate per timestep.
 	for step := 0; step < t; step++ {
-		xt := sliceTime(x, step)
+		xt := sliceTimeInto(g.ws.Get(n, g.D), x, step)
 		g.xs = append(g.xs, xt)
 		hPrev := g.hs[len(g.hs)-1]
 
-		z := tensor.MatMul(xt, g.Wxz.Value)
-		z.AddInPlace(tensor.MatMul(hPrev, g.Whz.Value))
+		z := g.ws.Get(n, g.H)
+		tensor.MatMulInto(z, xt, g.Wxz.Value)
+		tmp := g.ws.Get(n, g.H)
+		tensor.MatMulInto(tmp, hPrev, g.Whz.Value)
+		z.AddInPlace(tmp)
+		g.ws.Put(tmp)
 		z.AddRowVector(g.Bz.Value)
 		sigmoidInPlace(z)
 
-		r := tensor.MatMul(xt, g.Wxr.Value)
-		r.AddInPlace(tensor.MatMul(hPrev, g.Whr.Value))
+		r := g.ws.Get(n, g.H)
+		tensor.MatMulInto(r, xt, g.Wxr.Value)
+		tmp = g.ws.Get(n, g.H)
+		tensor.MatMulInto(tmp, hPrev, g.Whr.Value)
+		r.AddInPlace(tmp)
+		g.ws.Put(tmp)
 		r.AddRowVector(g.Br.Value)
 		sigmoidInPlace(r)
 
-		rh := tensor.Mul(r, hPrev)
-		hh := tensor.MatMul(xt, g.Wxh.Value)
-		hh.AddInPlace(tensor.MatMul(rh, g.Whh.Value))
+		rh := g.ws.Get(n, g.H)
+		tensor.MulInto(rh, r, hPrev)
+		hh := g.ws.Get(n, g.H)
+		tensor.MatMulInto(hh, xt, g.Wxh.Value)
+		tmp = g.ws.Get(n, g.H)
+		tensor.MatMulInto(tmp, rh, g.Whh.Value)
+		hh.AddInPlace(tmp)
+		g.ws.Put(tmp)
+		g.ws.Put(rh)
 		hh.AddRowVector(g.Bh.Value)
 		hh.ApplyInPlace(math.Tanh)
 
-		hNew := tensor.New(n, g.H)
+		hNew := g.ws.Get(n, g.H)
 		hd, zd, hhd, hpd := hNew.Data(), z.Data(), hh.Data(), hPrev.Data()
 		for i := range hd {
 			hd[i] = (1-zd[i])*hhd[i] + zd[i]*hpd[i]
@@ -108,19 +131,43 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // returns dx of shape (N, T, D).
 func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, t := g.n, g.t
-	dx := tensor.New(n, t, g.D)
-	dhNext := tensor.New(n, g.H)
+	dx := g.ws.Get(n, t, g.D)
+	dhNext := g.ws.Get(n, g.H)
+
+	// accumulate computes tmp = aᵀ×b (TMatMul) or a×bᵀ (MatMulT) into a
+	// pooled buffer and folds it into dst, matching the allocating path's
+	// dst.AddInPlace(tensor.TMatMul(a, b)) float-for-float.
+	addTMatMul := func(dst, a, b *tensor.Tensor) {
+		tmp := g.ws.Get(dst.Shape()...)
+		tensor.TMatMulInto(tmp, a, b)
+		dst.AddInPlace(tmp)
+		g.ws.Put(tmp)
+	}
+	addMatMulT := func(dst, a, b *tensor.Tensor) {
+		tmp := g.ws.Get(dst.Shape()...)
+		tensor.MatMulTInto(tmp, a, b)
+		dst.AddInPlace(tmp)
+		g.ws.Put(tmp)
+	}
+	addSumAxis0 := func(dst, a *tensor.Tensor) {
+		tmp := g.ws.Get(dst.Shape()...)
+		tensor.SumAxis0Into(tmp, a)
+		dst.AddInPlace(tmp)
+		g.ws.Put(tmp)
+	}
 
 	for step := t - 1; step >= 0; step-- {
-		dh := tensor.Add(sliceTime(dout, step), dhNext)
+		dh := sliceTimeInto(g.ws.Get(n, g.H), dout, step)
+		dh.AddInPlace(dhNext)
+		g.ws.Put(dhNext)
 		z, r, hh := g.zs[step], g.rs[step], g.hhs[step]
 		hPrev := g.hs[step]
 		xt := g.xs[step]
 
 		// h = (1-z)·h̃ + z·hPrev
-		dz := tensor.New(n, g.H)
-		dhh := tensor.New(n, g.H)
-		dhPrev := tensor.New(n, g.H)
+		dz := g.ws.Get(n, g.H)
+		dhh := g.ws.Get(n, g.H)
+		dhPrev := g.ws.Get(n, g.H)
 		dhd, zd, hhd, hpd := dh.Data(), z.Data(), hh.Data(), hPrev.Data()
 		dzd, dhhd, dhpd := dz.Data(), dhh.Data(), dhPrev.Data()
 		for i := range dhd {
@@ -128,53 +175,68 @@ func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			dhhd[i] = dhd[i] * (1 - zd[i])
 			dhpd[i] = dhd[i] * zd[i]
 		}
+		g.ws.Put(dh)
 
 		// Candidate pre-activation: a_h = x·Wxh + (r⊙hPrev)·Whh + bh.
-		dah := tensor.New(n, g.H)
+		dah := g.ws.Get(n, g.H)
 		dahd := dah.Data()
 		for i := range dahd {
 			dahd[i] = dhhd[i] * (1 - hhd[i]*hhd[i])
 		}
-		rh := tensor.Mul(r, hPrev)
-		g.Wxh.Grad.AddInPlace(tensor.TMatMul(xt, dah))
-		g.Whh.Grad.AddInPlace(tensor.TMatMul(rh, dah))
-		g.Bh.Grad.AddInPlace(tensor.SumAxis0(dah))
-		dxt := tensor.MatMulT(dah, g.Wxh.Value)
-		drh := tensor.MatMulT(dah, g.Whh.Value)
+		g.ws.Put(dhh)
+		rh := g.ws.Get(n, g.H)
+		tensor.MulInto(rh, r, hPrev)
+		addTMatMul(g.Wxh.Grad, xt, dah)
+		addTMatMul(g.Whh.Grad, rh, dah)
+		addSumAxis0(g.Bh.Grad, dah)
+		g.ws.Put(rh)
+		dxt := g.ws.Get(n, g.D)
+		tensor.MatMulTInto(dxt, dah, g.Wxh.Value)
+		drh := g.ws.Get(n, g.H)
+		tensor.MatMulTInto(drh, dah, g.Whh.Value)
+		g.ws.Put(dah)
 		// r⊙hPrev splits.
-		dr := tensor.Mul(drh, hPrev)
+		dr := g.ws.Get(n, g.H)
+		tensor.MulInto(dr, drh, hPrev)
 		for i, v := range drh.Data() {
 			dhpd[i] += v * r.Data()[i]
 		}
+		g.ws.Put(drh)
 
 		// Update gate pre-activation.
-		daz := tensor.New(n, g.H)
+		daz := g.ws.Get(n, g.H)
 		dazd := daz.Data()
 		for i := range dazd {
 			dazd[i] = dzd[i] * zd[i] * (1 - zd[i])
 		}
-		g.Wxz.Grad.AddInPlace(tensor.TMatMul(xt, daz))
-		g.Whz.Grad.AddInPlace(tensor.TMatMul(hPrev, daz))
-		g.Bz.Grad.AddInPlace(tensor.SumAxis0(daz))
-		dxt.AddInPlace(tensor.MatMulT(daz, g.Wxz.Value))
-		dhPrev.AddInPlace(tensor.MatMulT(daz, g.Whz.Value))
+		g.ws.Put(dz)
+		addTMatMul(g.Wxz.Grad, xt, daz)
+		addTMatMul(g.Whz.Grad, hPrev, daz)
+		addSumAxis0(g.Bz.Grad, daz)
+		addMatMulT(dxt, daz, g.Wxz.Value)
+		addMatMulT(dhPrev, daz, g.Whz.Value)
+		g.ws.Put(daz)
 
 		// Reset gate pre-activation.
-		dar := tensor.New(n, g.H)
+		dar := g.ws.Get(n, g.H)
 		dard := dar.Data()
 		rd := r.Data()
 		for i := range dard {
 			dard[i] = dr.Data()[i] * rd[i] * (1 - rd[i])
 		}
-		g.Wxr.Grad.AddInPlace(tensor.TMatMul(xt, dar))
-		g.Whr.Grad.AddInPlace(tensor.TMatMul(hPrev, dar))
-		g.Br.Grad.AddInPlace(tensor.SumAxis0(dar))
-		dxt.AddInPlace(tensor.MatMulT(dar, g.Wxr.Value))
-		dhPrev.AddInPlace(tensor.MatMulT(dar, g.Whr.Value))
+		g.ws.Put(dr)
+		addTMatMul(g.Wxr.Grad, xt, dar)
+		addTMatMul(g.Whr.Grad, hPrev, dar)
+		addSumAxis0(g.Br.Grad, dar)
+		addMatMulT(dxt, dar, g.Wxr.Value)
+		addMatMulT(dhPrev, dar, g.Whr.Value)
+		g.ws.Put(dar)
 
 		copyIntoTime(dx, step, dxt)
+		g.ws.Put(dxt)
 		dhNext = dhPrev
 	}
+	g.ws.Put(dhNext)
 	return dx
 }
 
@@ -183,10 +245,10 @@ func (g *GRU) Params() []*Param {
 	return []*Param{g.Wxz, g.Whz, g.Bz, g.Wxr, g.Whr, g.Br, g.Wxh, g.Whh, g.Bh}
 }
 
-// sliceTime extracts timestep `step` of an (N, T, D) tensor as (N, D).
-func sliceTime(x *tensor.Tensor, step int) *tensor.Tensor {
+// sliceTimeInto extracts timestep `step` of an (N, T, D) tensor into the
+// caller-provided (N, D) out.
+func sliceTimeInto(out, x *tensor.Tensor, step int) *tensor.Tensor {
 	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(n, d)
 	for b := 0; b < n; b++ {
 		src := x.Data()[(b*t+step)*d : (b*t+step+1)*d]
 		copy(out.Data()[b*d:(b+1)*d], src)
@@ -214,6 +276,14 @@ type TimeDistributed struct {
 // NewTimeDistributed wraps a layer for per-timestep application.
 func NewTimeDistributed(inner Layer) *TimeDistributed { return &TimeDistributed{Inner: inner} }
 
+// SetWorkspace forwards the workspace to the inner layer (the fold/unfold
+// reshapes themselves share storage and allocate only slice headers).
+func (td *TimeDistributed) SetWorkspace(ws *tensor.Workspace) {
+	if wl, ok := td.Inner.(WorkspaceSetter); ok {
+		wl.SetWorkspace(ws)
+	}
+}
+
 // Forward folds (N,T,D) to (N·T,D), applies the inner layer, and unfolds.
 func (td *TimeDistributed) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	td.n, td.t = x.Dim(0), x.Dim(1)
@@ -236,17 +306,21 @@ func (td *TimeDistributed) Params() []*Param { return td.Inner.Params() }
 // used when a recurrent encoder feeds a classification head.
 type LastTimestep struct {
 	n, t, h int
+	ws      *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (l *LastTimestep) SetWorkspace(ws *tensor.Workspace) { l.ws = ws }
 
 // Forward extracts the last timestep.
 func (l *LastTimestep) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.n, l.t, l.h = x.Dim(0), x.Dim(1), x.Dim(2)
-	return sliceTime(x, l.t-1)
+	return sliceTimeInto(l.ws.Get(l.n, l.h), x, l.t-1)
 }
 
 // Backward scatters the gradient into the last timestep slot.
 func (l *LastTimestep) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	din := tensor.New(l.n, l.t, l.h)
+	din := l.ws.Get(l.n, l.t, l.h)
 	copyIntoTime(din, l.t-1, dout)
 	return din
 }
@@ -261,6 +335,14 @@ func (l *LastTimestep) Params() []*Param { return nil }
 type Conv1D struct {
 	conv *Conv2D
 	n, t int
+	ws   *tensor.Workspace
+}
+
+// SetWorkspace routes the layout-conversion temporaries (and the inner
+// convolution's) through ws.
+func (c *Conv1D) SetWorkspace(ws *tensor.Workspace) {
+	c.ws = ws
+	c.conv.SetWorkspace(ws)
 }
 
 // NewConv1D creates a 1-D convolution with kernel size k.
@@ -280,24 +362,24 @@ func NewConv1D(rng *rand.Rand, name string, inD, outF, k, stride, pad int) *Conv
 func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.n, c.t = x.Dim(0), x.Dim(1)
 	d := x.Dim(2)
-	img := toNCHW1(x, c.n, c.t, d)
+	img := toNCHW1(c.ws.Get(c.n, d, 1, c.t), x)
 	out := c.conv.Forward(img, train) // (N, F, 1, T')
-	return fromNCHW1(out)
+	return fromNCHW1(c.ws.Get(out.Dim(0), out.Dim(3), out.Dim(1)), out)
 }
 
 // Backward mirrors the layout conversions.
 func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dimg := toNCHW1(dout, dout.Dim(0), dout.Dim(1), dout.Dim(2))
+	dimg := toNCHW1(c.ws.Get(dout.Dim(0), dout.Dim(2), 1, dout.Dim(1)), dout)
 	din := c.conv.Backward(dimg) // (N, D, 1, T)
-	return fromNCHW1(din)
+	return fromNCHW1(c.ws.Get(din.Dim(0), din.Dim(3), din.Dim(1)), din)
 }
 
 // Params returns the kernel parameters.
 func (c *Conv1D) Params() []*Param { return c.conv.Params() }
 
-// toNCHW1 converts (N,T,D) channels-last to (N,D,1,T).
-func toNCHW1(x *tensor.Tensor, n, t, d int) *tensor.Tensor {
-	out := tensor.New(n, d, 1, t)
+// toNCHW1 converts (N,T,D) channels-last into the provided (N,D,1,T) out.
+func toNCHW1(out, x *tensor.Tensor) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for step := 0; step < t; step++ {
@@ -309,10 +391,9 @@ func toNCHW1(x *tensor.Tensor, n, t, d int) *tensor.Tensor {
 	return out
 }
 
-// fromNCHW1 converts (N,F,1,T) back to (N,T,F).
-func fromNCHW1(img *tensor.Tensor) *tensor.Tensor {
+// fromNCHW1 converts (N,F,1,T) back into the provided (N,T,F) out.
+func fromNCHW1(out, img *tensor.Tensor) *tensor.Tensor {
 	n, f, t := img.Dim(0), img.Dim(1), img.Dim(3)
-	out := tensor.New(n, t, f)
 	id, od := img.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for step := 0; step < t; step++ {

@@ -36,7 +36,11 @@ type InputDecay struct {
 	delta         *tensor.Tensor // (N, T, C)
 	decayedActive *tensor.Tensor // 1 where the decayed path was taken
 	srcT          *tensor.Tensor // timestep the decayed value came from
+	ws            *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's caches and outputs through ws.
+func (d *InputDecay) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
 
 // NewInputDecay creates the layer for C value channels, with decay rates
 // initialized near softplus⁻¹(0.1) so early training starts gently.
@@ -57,12 +61,12 @@ func (d *InputDecay) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, T := x.Dim(0), x.Dim(1)
 	d.in = x
-	d.gamma = tensor.New(n, T, d.C)
-	d.xlast = tensor.New(n, T, d.C)
-	d.delta = tensor.New(n, T, d.C)
-	d.decayedActive = tensor.New(n, T, d.C)
-	d.srcT = tensor.New(n, T, d.C)
-	out := x.Clone()
+	d.gamma = d.ws.Get(n, T, d.C)
+	d.xlast = d.ws.Get(n, T, d.C)
+	d.delta = d.ws.Get(n, T, d.C)
+	d.decayedActive = d.ws.Get(n, T, d.C)
+	d.srcT = d.ws.Get(n, T, d.C)
+	out := cloneInto(d.ws, x)
 
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < d.C; ch++ {
@@ -103,7 +107,7 @@ func (d *InputDecay) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // γ sensitivity.
 func (d *InputDecay) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, T := dout.Dim(0), dout.Dim(1)
-	din := dout.Clone()
+	din := cloneInto(d.ws, dout)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < d.C; ch++ {
 			w := d.W.Value.Data()[ch]

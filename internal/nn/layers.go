@@ -12,7 +12,11 @@ import (
 type Dense struct {
 	W, B *Param
 	x    *tensor.Tensor // cached input
+	ws   *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (d *Dense) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
 
 // NewDense creates a Dense layer with He-uniform initialization.
 func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
@@ -26,16 +30,25 @@ func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
 // Forward computes xW + b.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.x = x
-	y := tensor.MatMul(x, d.W.Value)
+	y := d.ws.Get(x.Dim(0), d.W.Value.Dim(1))
+	tensor.MatMulInto(y, x, d.W.Value)
 	y.AddRowVector(d.B.Value)
 	return y
 }
 
 // Backward accumulates dW = xᵀ·dout, db = Σ dout and returns dout·Wᵀ.
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	d.W.Grad.AddInPlace(tensor.TMatMul(d.x, dout))
-	d.B.Grad.AddInPlace(tensor.SumAxis0(dout))
-	return tensor.MatMulT(dout, d.W.Value)
+	dW := d.ws.Get(d.W.Value.Shape()...)
+	tensor.TMatMulInto(dW, d.x, dout)
+	d.W.Grad.AddInPlace(dW)
+	d.ws.Put(dW)
+	dB := d.ws.Get(d.B.Value.Shape()...)
+	tensor.SumAxis0Into(dB, dout)
+	d.B.Grad.AddInPlace(dB)
+	d.ws.Put(dB)
+	din := d.ws.Get(dout.Dim(0), d.W.Value.Dim(0))
+	tensor.MatMulTInto(din, dout, d.W.Value)
+	return din
 }
 
 // Params returns W and b.
@@ -44,11 +57,15 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool
+	ws   *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
 
 // Forward applies the rectifier and caches the activation mask.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	out := cloneInto(r.ws, x)
 	if cap(r.mask) < x.Size() {
 		r.mask = make([]bool, x.Size())
 	}
@@ -66,7 +83,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward gates the upstream gradient by the activation mask.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	din := dout.Clone()
+	din := cloneInto(r.ws, dout)
 	for i := range din.Data() {
 		if !r.mask[i] {
 			din.Data()[i] = 0
@@ -81,17 +98,21 @@ func (r *ReLU) Params() []*Param { return nil }
 // Sigmoid applies the logistic function elementwise.
 type Sigmoid struct {
 	out *tensor.Tensor
+	ws  *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (s *Sigmoid) SetWorkspace(ws *tensor.Workspace) { s.ws = ws }
 
 // Forward computes σ(x), caching the output for the backward pass.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	s.out = tensor.Apply(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.out = tensor.ApplyInto(s.ws.Get(x.Shape()...), x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 	return s.out
 }
 
 // Backward computes dout · σ(x)(1-σ(x)).
 func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	din := dout.Clone()
+	din := cloneInto(s.ws, dout)
 	for i, o := range s.out.Data() {
 		din.Data()[i] *= o * (1 - o)
 	}
@@ -104,17 +125,21 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
 	out *tensor.Tensor
+	ws  *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (t *Tanh) SetWorkspace(ws *tensor.Workspace) { t.ws = ws }
 
 // Forward computes tanh(x).
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	t.out = tensor.Apply(x, math.Tanh)
+	t.out = tensor.ApplyInto(t.ws.Get(x.Shape()...), x, math.Tanh)
 	return t.out
 }
 
 // Backward computes dout · (1 - tanh²(x)).
 func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	din := dout.Clone()
+	din := cloneInto(t.ws, dout)
 	for i, o := range t.out.Data() {
 		din.Data()[i] *= 1 - o*o
 	}
@@ -131,7 +156,11 @@ type Dropout struct {
 	Rate float64
 	rng  *rand.Rand
 	mask []float64
+	ws   *tensor.Workspace
 }
+
+// SetWorkspace routes the layer's temporaries through ws.
+func (d *Dropout) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
 
 // NewDropout creates a dropout layer with its own RNG stream.
 func NewDropout(rng *rand.Rand, rate float64) *Dropout {
@@ -153,7 +182,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = make([]float64, x.Size())
 	}
 	d.mask = d.mask[:x.Size()]
-	out := x.Clone()
+	out := cloneInto(d.ws, x)
 	for i := range out.Data() {
 		if d.rng.Float64() < keep {
 			d.mask[i] = scale
@@ -171,7 +200,7 @@ func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return dout
 	}
-	din := dout.Clone()
+	din := cloneInto(d.ws, dout)
 	for i := range din.Data() {
 		din.Data()[i] *= d.mask[i]
 	}
@@ -208,6 +237,11 @@ type Sequential struct {
 	// Sequential.Backward (SetBackwardHook). Unexported so gob model
 	// snapshots (modelSnapshot) are unaffected.
 	hook BackwardHook
+	// ws remembers the workspace installed by SetWorkspace (nil means the
+	// model allocates plainly). Unexported for the same gob reason.
+	ws *tensor.Workspace
+	// paramsCache memoizes the flattened parameter list (see Params).
+	paramsCache []*Param
 }
 
 // BackwardHook observes the backward pass layer by layer: it is called
@@ -220,8 +254,11 @@ type BackwardHook func(layerIndex int, layer Layer)
 // NewSequential builds a model from the given layers.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
-// Add appends a layer.
-func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+// Add appends a layer and invalidates the cached parameter list.
+func (s *Sequential) Add(l Layer) {
+	s.Layers = append(s.Layers, l)
+	s.paramsCache = nil
+}
 
 // Forward runs all layers in order.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -249,13 +286,17 @@ func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // layer happens entirely inside its own Backward.
 func (s *Sequential) SetBackwardHook(h BackwardHook) { s.hook = h }
 
-// Params concatenates all layers' parameters in order.
+// Params concatenates all layers' parameters in order. The list is cached
+// per layer set (Add invalidates it) so per-step callers — ZeroGrads runs
+// every training step — stay off the allocator. Callers must not modify
+// the returned slice.
 func (s *Sequential) Params() []*Param {
-	var out []*Param
-	for _, l := range s.Layers {
-		out = append(out, l.Params()...)
+	if s.paramsCache == nil {
+		for _, l := range s.Layers {
+			s.paramsCache = append(s.paramsCache, l.Params()...)
+		}
 	}
-	return out
+	return s.paramsCache
 }
 
 // ZeroGrads clears every parameter gradient in the model.

@@ -23,8 +23,12 @@ func (SoftmaxCrossEntropy) Name() string { return "softmax-ce" }
 
 // Forward computes mean cross-entropy and the (softmax - target)/N grad.
 func (SoftmaxCrossEntropy) Forward(logits, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return softmaxCEForward(nil, logits, target)
+}
+
+func softmaxCEForward(ws *tensor.Workspace, logits, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	n := logits.Dim(0)
-	probs := tensor.SoftmaxRows(logits)
+	probs := tensor.SoftmaxRowsInto(ws.Get(logits.Shape()...), logits)
 	loss := 0.0
 	for i := 0; i < n; i++ {
 		prow := probs.Row(i)
@@ -35,8 +39,9 @@ func (SoftmaxCrossEntropy) Forward(logits, target *tensor.Tensor) (float64, *ten
 			}
 		}
 	}
-	grad := tensor.Sub(probs, target)
+	grad := tensor.SubInto(ws.Get(logits.Shape()...), probs, target)
 	grad.Scale(1 / float64(n))
+	ws.Put(probs)
 	return loss / float64(n), grad
 }
 
@@ -50,8 +55,12 @@ func (BCEWithLogits) Name() string { return "bce" }
 
 // Forward computes mean BCE over all elements and σ(x)-y gradient.
 func (BCEWithLogits) Forward(logits, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return bceForward(nil, logits, target)
+}
+
+func bceForward(ws *tensor.Workspace, logits, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	n := logits.Size()
-	grad := tensor.New(logits.Shape()...)
+	grad := ws.Get(logits.Shape()...)
 	loss := 0.0
 	ld, td, gd := logits.Data(), target.Data(), grad.Data()
 	inv := 1 / float64(n)
@@ -73,8 +82,12 @@ func (MSE) Name() string { return "mse" }
 
 // Forward computes mean (pred-target)² and its gradient.
 func (MSE) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return mseForward(nil, pred, target)
+}
+
+func mseForward(ws *tensor.Workspace, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	n := float64(pred.Size())
-	grad := tensor.New(pred.Shape()...)
+	grad := ws.Get(pred.Shape()...)
 	loss := 0.0
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	for i := range pd {
@@ -94,8 +107,12 @@ func (MAE) Name() string { return "mae" }
 
 // Forward computes mean |pred-target| with the sign subgradient.
 func (MAE) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return maeForward(nil, pred, target)
+}
+
+func maeForward(ws *tensor.Workspace, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	n := float64(pred.Size())
-	grad := tensor.New(pred.Shape()...)
+	grad := ws.Get(pred.Shape()...)
 	loss := 0.0
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	for i := range pd {
@@ -123,7 +140,11 @@ func (MaskedMAE) Name() string { return "masked-mae" }
 
 // Forward computes mean |pred-target| over masked positions.
 func (m MaskedMAE) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
-	grad := tensor.New(pred.Shape()...)
+	return m.forward(nil, pred, target)
+}
+
+func (m MaskedMAE) forward(ws *tensor.Workspace, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	grad := ws.Get(pred.Shape()...)
 	loss, cnt := 0.0, 0.0
 	pd, td, gd, md := pred.Data(), target.Data(), grad.Data(), m.Mask.Data()
 	for i := range pd {

@@ -47,7 +47,9 @@ func (s *SGD) Step(params []*Param, lr float64) {
 			g = v
 		}
 		if s.WeightDecay > 0 && !p.NoDecay {
-			p.Value.Axpy(-lr*s.WeightDecay, p.Value.Clone())
+			// Axpy against the value itself: element i reads only its own
+			// pre-update value, so no defensive copy is needed.
+			p.Value.Axpy(-lr*s.WeightDecay, p.Value)
 		}
 		p.Value.Axpy(-lr, g)
 	}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// WorkspaceSetter is implemented by layers (and Sequential) whose hot path
+// can borrow temporaries from a tensor.Workspace instead of allocating.
+// Setting a nil workspace restores plain allocation; layers hold the
+// workspace but never reset it, so the owner (a trainer rank, a serving
+// backend) decides when borrowed memory is recycled via ReleaseAll.
+//
+// The pooled and allocating paths run the same kernels in the same order
+// (every Into variant is the body of its allocating namesake, and Get
+// zero-fills exactly like New), so outputs are bitwise identical either
+// way — the contract the workspace tests assert.
+type WorkspaceSetter interface {
+	SetWorkspace(ws *tensor.Workspace)
+}
+
+// SetWorkspace installs ws on every layer that supports pooling,
+// recursing through containers, and remembers it for Workspace().
+func (s *Sequential) SetWorkspace(ws *tensor.Workspace) {
+	s.ws = ws
+	for _, l := range s.Layers {
+		if wl, ok := l.(WorkspaceSetter); ok {
+			wl.SetWorkspace(ws)
+		}
+	}
+}
+
+// Workspace returns the workspace installed by SetWorkspace (nil when the
+// model allocates plainly). Inference loops use it to recycle the model's
+// borrowed activations between batches.
+func (s *Sequential) Workspace() *tensor.Workspace { return s.ws }
+
+// cloneInto borrows a copy of x from ws; with a nil workspace it is
+// exactly x.Clone().
+func cloneInto(ws *tensor.Workspace, x *tensor.Tensor) *tensor.Tensor {
+	out := ws.Get(x.Shape()...)
+	out.CopyFrom(x)
+	return out
+}
+
+// LossForward evaluates a loss with its temporaries (softmax probabilities,
+// the returned gradient) borrowed from ws. With a nil workspace it is
+// exactly l.Forward. The returned gradient is valid until the workspace's
+// next ReleaseAll.
+func LossForward(ws *tensor.Workspace, l Loss, logits, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if ws == nil {
+		return l.Forward(logits, target)
+	}
+	switch m := l.(type) {
+	case SoftmaxCrossEntropy:
+		return softmaxCEForward(ws, logits, target)
+	case BCEWithLogits:
+		return bceForward(ws, logits, target)
+	case MSE:
+		return mseForward(ws, logits, target)
+	case MAE:
+		return maeForward(ws, logits, target)
+	case MaskedMAE:
+		return m.forward(ws, logits, target)
+	default:
+		return l.Forward(logits, target)
+	}
+}

@@ -68,24 +68,36 @@ func (p *pool) quarantine(r *replica) {
 // ModelBackend serves a real nn.Sequential. Layers cache activations
 // during Forward, so the model belongs to one inference at a time; the
 // mutex makes direct (non-server) concurrent use safe too.
+//
+// The backend owns a tensor workspace threaded through the model, so
+// steady-state inference reuses the same activation buffers batch after
+// batch. Consequently the returned tensor is only valid until the next
+// Infer call on this backend — callers must copy what they keep (the
+// server copies per-request probabilities out before releasing the
+// replica).
 type ModelBackend struct {
 	mu    sync.Mutex
 	model *nn.Sequential
 	act   nn.Activation
+	ws    *tensor.Workspace
 }
 
 // NewModelBackend wraps a model whose logits are mapped to probabilities
 // with act (sigmoid for multi-label heads, softmax for single-label).
 func NewModelBackend(m *nn.Sequential, act nn.Activation) *ModelBackend {
-	return &ModelBackend{model: m, act: act}
+	ws := tensor.NewWorkspace()
+	m.SetWorkspace(ws)
+	return &ModelBackend{model: m, act: act, ws: ws}
 }
 
 // Infer runs the forward pass in inference mode and applies the
-// activation.
+// activation. The result aliases pooled workspace memory recycled by the
+// next Infer.
 func (b *ModelBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return nn.ApplyActivation(b.model.Forward(batch, false), b.act), nil
+	b.ws.ReleaseAll()
+	return nn.ApplyActivationWS(b.ws, b.model.Forward(batch, false), b.act), nil
 }
 
 // ModeledBackend wraps a backend with the modeled MSA service time of the

@@ -250,15 +250,20 @@ func (s *Server) batcher() {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	// Each worker owns a workspace for its batch-assembly tensors, recycled
+	// per batch — steady-state dispatch allocates only the per-request
+	// probability slices that escape to callers.
+	ws := tensor.NewWorkspace()
 	for job := range s.batches {
-		s.runBatch(job)
+		s.runBatch(ws, job)
 	}
 }
 
 // runBatch assembles, dispatches (with retry across replicas), and
 // responds. Every request in the job receives exactly one response on
 // exactly one of the paths below.
-func (s *Server) runBatch(job *batchJob) {
+func (s *Server) runBatch(ws *tensor.Workspace, job *batchJob) {
+	ws.ReleaseAll()
 	// Drop requests whose deadline already passed while queued.
 	live := job.reqs[:0]
 	for _, r := range job.reqs {
@@ -293,7 +298,7 @@ func (s *Server) runBatch(job *batchJob) {
 	for _, r := range valid {
 		s.cfg.Tracer.End(s.queueTrack(), telemetry.CatQueue, "queue-wait", r.traceStart, 0, "")
 	}
-	bx := tensor.New(append([]int{len(valid)}, rowShape...)...)
+	bx := ws.Get(append([]int{len(valid)}, rowShape...)...)
 	for i, r := range valid {
 		copy(bx.Data()[i*rowLen:(i+1)*rowLen], r.x.Data())
 	}
@@ -319,8 +324,12 @@ func (s *Server) runBatch(job *batchJob) {
 		}
 		rep.batches.Add(1)
 		rep.samples.Add(int64(len(valid)))
-		s.pool.release(rep)
 
+		// Copy each request's probabilities out of the backend's output
+		// BEFORE releasing the replica: pooled backends recycle the output
+		// buffer on their next Infer, which another worker may trigger the
+		// moment the replica is back in the pool. The per-request slice
+		// must be a fresh allocation — it escapes to the caller.
 		classes := out.Dim(1)
 		now := time.Now()
 		for i, r := range valid {
@@ -330,6 +339,7 @@ func (s *Server) runBatch(job *batchJob) {
 			s.metrics.latency.Observe(now.Sub(r.enqueued))
 			r.respond(Prediction{Probs: probs, Class: argmax(probs)}, nil)
 		}
+		s.pool.release(rep)
 		s.metrics.batches.Add(1)
 		s.metrics.batchSamples.Add(int64(len(valid)))
 		return

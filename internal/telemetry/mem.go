@@ -1,0 +1,43 @@
+package telemetry
+
+import "runtime"
+
+// Memory / GC metrics: the observability half of the allocation-free hot
+// path. Workspace pooling claims to keep steady-state training and serving
+// off the allocator; these gauges make that claim scrapeable — a flat
+// msa_mem_heap_bytes and a stalled msa_mem_gc_pauses_total under load are
+// the production evidence that the pools are doing their job.
+
+// RegisterMemMetrics registers process-wide heap and GC instruments read
+// from runtime.ReadMemStats at export time:
+//
+//	msa_mem_heap_bytes      gauge   bytes of allocated heap objects
+//	msa_mem_gc_pauses_total counter completed GC cycles
+//	msa_mem_gc_pause_ns     counter cumulative GC stop-the-world pause ns
+//
+// ReadMemStats stops the world briefly, so the three instruments share one
+// snapshot per export pass instead of taking three.
+func RegisterMemMetrics(r *Registry) {
+	snap := func() runtime.MemStats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms
+	}
+	// Register each instrument before SetHelp: help strings attach only to
+	// already-existing families.
+	r.GaugeFunc("msa_mem_heap_bytes", func() float64 {
+		ms := snap()
+		return float64(ms.HeapAlloc)
+	})
+	r.SetHelp("msa_mem_heap_bytes", "bytes of allocated heap objects (runtime.MemStats.HeapAlloc)")
+	r.CounterFunc("msa_mem_gc_pauses_total", func() float64 {
+		ms := snap()
+		return float64(ms.NumGC)
+	})
+	r.SetHelp("msa_mem_gc_pauses_total", "completed GC cycles (runtime.MemStats.NumGC)")
+	r.CounterFunc("msa_mem_gc_pause_ns", func() float64 {
+		ms := snap()
+		return float64(ms.PauseTotalNs)
+	})
+	r.SetHelp("msa_mem_gc_pause_ns", "cumulative GC stop-the-world pause time in nanoseconds")
+}

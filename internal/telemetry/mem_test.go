@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterMemMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterMemMetrics(r)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE msa_mem_heap_bytes gauge",
+		"# HELP msa_mem_heap_bytes ",
+		"# TYPE msa_mem_gc_pauses_total counter",
+		"# TYPE msa_mem_gc_pause_ns counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+
+	// A live process has a nonzero heap; the gauge must reflect it.
+	var heapLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "msa_mem_heap_bytes ") {
+			heapLine = line
+		}
+	}
+	if heapLine == "" {
+		t.Fatalf("no msa_mem_heap_bytes sample in:\n%s", out)
+	}
+	if strings.HasSuffix(heapLine, " 0") {
+		t.Errorf("heap gauge reads zero: %q", heapLine)
+	}
+}

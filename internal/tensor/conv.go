@@ -21,6 +21,29 @@ func Im2Col(img *Tensor, kh, kw, stride, padH, padW int) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col degenerate output %dx%d", oh, ow))
 	}
 	cols := New(n*oh*ow, c*kh*kw)
+	Im2ColInto(cols, img, kh, kw, stride, padH, padW)
+	return cols
+}
+
+// Im2ColInto lowers img into the caller-provided column matrix cols, which
+// must have shape (N*OH*OW, C*KH*KW) and is fully overwritten (padding
+// cells included).
+func Im2ColInto(cols, img *Tensor, kh, kw, stride, padH, padW int) *Tensor {
+	if len(img.shape) != 4 {
+		panic("tensor: Im2ColInto requires (N,C,H,W)")
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	oh := ConvDims(h, kh, stride, padH)
+	ow := ConvDims(w, kw, stride, padW)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColInto degenerate output %dx%d", oh, ow))
+	}
+	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Im2ColInto output shape %v, want (%d,%d)", cols.shape, n*oh*ow, c*kh*kw))
+	}
+	// Padding windows leave untouched cells; clear them up front so a
+	// recycled buffer matches a freshly allocated one exactly.
+	cols.Zero()
 	colRow := 0
 	for b := 0; b < n; b++ {
 		for oy := 0; oy < oh; oy++ {
@@ -58,12 +81,25 @@ func Im2Col(img *Tensor, kh, kw, stride, padH, padW int) *Tensor {
 // image batch of shape (N, C, H, W), accumulating overlapping windows.
 // It is the adjoint of Im2Col and is used in the convolution backward pass.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, padH, padW int) *Tensor {
+	img := New(n, c, h, w)
+	Col2ImInto(img, cols, kh, kw, stride, padH, padW)
+	return img
+}
+
+// Col2ImInto scatters cols into the caller-provided image batch img of
+// shape (N, C, H, W), overwriting it (img is zeroed, then overlapping
+// windows accumulate).
+func Col2ImInto(img, cols *Tensor, kh, kw, stride, padH, padW int) *Tensor {
+	if len(img.shape) != 4 {
+		panic("tensor: Col2ImInto requires (N,C,H,W) output")
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
 	oh := ConvDims(h, kh, stride, padH)
 	ow := ConvDims(w, kw, stride, padW)
 	if cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d,%d) k=%dx%d", cols.shape, n, c, h, w, kh, kw))
 	}
-	img := New(n, c, h, w)
+	img.Zero()
 	colRow := 0
 	for b := 0; b < n; b++ {
 		for oy := 0; oy < oh; oy++ {
@@ -109,6 +145,22 @@ func MaxPool2D(img *Tensor, k, stride int) (*Tensor, []int) {
 	ow := ConvDims(w, k, stride, 0)
 	out := New(n, c, oh, ow)
 	arg := make([]int, out.Size())
+	MaxPool2DInto(out, arg, img, k, stride)
+	return out, arg
+}
+
+// MaxPool2DInto performs max pooling into the caller-provided out tensor
+// (shape (N,C,OH,OW)) and argmax slice (len out.Size()), both overwritten.
+func MaxPool2DInto(out *Tensor, arg []int, img *Tensor, k, stride int) {
+	if len(img.shape) != 4 {
+		panic("tensor: MaxPool2DInto requires (N,C,H,W)")
+	}
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	oh := ConvDims(h, k, stride, 0)
+	ow := ConvDims(w, k, stride, 0)
+	if out.Size() != n*c*oh*ow || len(arg) != out.Size() {
+		panic("tensor: MaxPool2DInto output size mismatch")
+	}
 	oi := 0
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -133,13 +185,20 @@ func MaxPool2D(img *Tensor, k, stride int) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxPool2DBackward scatters upstream gradients through the argmax map
 // produced by MaxPool2D, returning a gradient of inShape.
 func MaxPool2DBackward(dout *Tensor, arg []int, inShape []int) *Tensor {
 	din := New(inShape...)
+	MaxPool2DBackwardInto(din, dout, arg)
+	return din
+}
+
+// MaxPool2DBackwardInto scatters upstream gradients through the argmax map
+// into the caller-provided din, which is zeroed first.
+func MaxPool2DBackwardInto(din, dout *Tensor, arg []int) *Tensor {
+	din.Zero()
 	for i, g := range dout.data {
 		din.data[arg[i]] += g
 	}
@@ -151,8 +210,20 @@ func GlobalAvgPool(img *Tensor) *Tensor {
 	if len(img.shape) != 4 {
 		panic("tensor: GlobalAvgPool requires (N,C,H,W)")
 	}
+	out := New(img.shape[0], img.shape[1])
+	GlobalAvgPoolInto(out, img)
+	return out
+}
+
+// GlobalAvgPoolInto reduces (N,C,H,W) into the caller-provided (N,C) out.
+func GlobalAvgPoolInto(out, img *Tensor) *Tensor {
+	if len(img.shape) != 4 {
+		panic("tensor: GlobalAvgPoolInto requires (N,C,H,W)")
+	}
 	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
-	out := New(n, c)
+	if out.Size() != n*c {
+		panic("tensor: GlobalAvgPoolInto output size mismatch")
+	}
 	area := float64(h * w)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -169,8 +240,21 @@ func GlobalAvgPool(img *Tensor) *Tensor {
 
 // GlobalAvgPoolBackward broadcasts (N,C) gradients back to (N,C,H,W).
 func GlobalAvgPoolBackward(dout *Tensor, h, w int) *Tensor {
-	n, c := dout.shape[0], dout.shape[1]
-	din := New(n, c, h, w)
+	din := New(dout.shape[0], dout.shape[1], h, w)
+	GlobalAvgPoolBackwardInto(din, dout)
+	return din
+}
+
+// GlobalAvgPoolBackwardInto broadcasts (N,C) gradients into the
+// caller-provided (N,C,H,W) din, overwriting it.
+func GlobalAvgPoolBackwardInto(din, dout *Tensor) *Tensor {
+	if len(din.shape) != 4 {
+		panic("tensor: GlobalAvgPoolBackwardInto requires (N,C,H,W) output")
+	}
+	n, c, h, w := din.shape[0], din.shape[1], din.shape[2], din.shape[3]
+	if dout.Size() != n*c {
+		panic("tensor: GlobalAvgPoolBackwardInto gradient size mismatch")
+	}
 	inv := 1 / float64(h*w)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {

@@ -1,0 +1,160 @@
+package tensor
+
+import "math"
+
+// Into-variants of the allocating elementwise/reduction ops: each computes
+// the same result as its namesake with identical floating-point operation
+// order, but writes into caller-provided (typically Workspace-pooled)
+// storage instead of allocating. The allocating forms delegate here, so
+// the two paths share one kernel and stay bitwise identical by
+// construction — the contract the workspace-pooled training path is
+// verified against.
+//
+// Naming convention: Out-of-place op Foo(a, b) gains FooInto(out, a, b);
+// out must have the correct shape and is fully overwritten (no need to
+// zero it first unless documented). out may not alias an input unless the
+// specific op notes it is safe.
+
+// AddInto sets out = a+b elementwise. out may alias a or b.
+func AddInto(out, a, b *Tensor) *Tensor {
+	checkSame("AddInto", a, b)
+	checkSame("AddInto", out, a)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// SubInto sets out = a-b elementwise. out may alias a or b.
+func SubInto(out, a, b *Tensor) *Tensor {
+	checkSame("SubInto", a, b)
+	checkSame("SubInto", out, a)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// MulInto sets out = a*b elementwise (Hadamard). out may alias a or b.
+func MulInto(out, a, b *Tensor) *Tensor {
+	checkSame("MulInto", a, b)
+	checkSame("MulInto", out, a)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// DivInto sets out = a/b elementwise. out may alias a or b.
+func DivInto(out, a, b *Tensor) *Tensor {
+	checkSame("DivInto", a, b)
+	checkSame("DivInto", out, a)
+	for i := range a.data {
+		out.data[i] = a.data[i] / b.data[i]
+	}
+	return out
+}
+
+// ApplyInto sets out[i] = f(a[i]). out may alias a.
+func ApplyInto(out, a *Tensor, f func(float64) float64) *Tensor {
+	checkSame("ApplyInto", out, a)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// SumAxis0Into reduces a 2-D tensor over rows into out (shape (C)),
+// overwriting out.
+func SumAxis0Into(out, a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: SumAxis0Into requires a 2-D tensor")
+	}
+	if out.Size() != a.shape[1] {
+		panic("tensor: SumAxis0Into output size mismatch")
+	}
+	r, c := a.shape[0], a.shape[1]
+	for j := range out.data {
+		out.data[j] = 0
+	}
+	for i := 0; i < r; i++ {
+		row := a.data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// SoftmaxRowsInto computes the row-wise softmax of a into out (same
+// shape), with the max-subtraction trick. out may alias a.
+func SoftmaxRowsInto(out, a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: SoftmaxRowsInto requires a 2-D tensor")
+	}
+	checkSame("SoftmaxRowsInto", out, a)
+	r, c := a.shape[0], a.shape[1]
+	for i := 0; i < r; i++ {
+		row := a.data[i*c : (i+1)*c]
+		orow := out.data[i*c : (i+1)*c]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - m)
+			orow[j] = e
+			s += e
+		}
+		inv := 1 / s
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// TransposeInto writes the transpose of the 2-D tensor a into out (shape
+// (C,R)). out must not alias a.
+func TransposeInto(out, a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: TransposeInto requires a 2-D tensor")
+	}
+	r, c := a.shape[0], a.shape[1]
+	if len(out.shape) != 2 || out.shape[0] != c || out.shape[1] != r {
+		panic("tensor: TransposeInto output shape mismatch")
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.data[j*r+i] = a.data[i*c+j]
+		}
+	}
+	return out
+}
+
+// ArgmaxRowsInto fills dst with the per-row argmax of a 2-D tensor,
+// growing dst only when its capacity is insufficient, and returns it.
+func (t *Tensor) ArgmaxRowsInto(dst []int) []int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgmaxRowsInto requires a 2-D tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	if cap(dst) < r {
+		dst = make([]int, r)
+	}
+	dst = dst[:r]
+	for i := 0; i < r; i++ {
+		row := t.data[i*c : (i+1)*c]
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		dst[i] = bi
+	}
+	return dst
+}

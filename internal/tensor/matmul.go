@@ -90,30 +90,30 @@ func MatMulT(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMulT requires 2-D tensors")
 	}
+	m, n := a.shape[0], b.shape[0]
+	out := New(m, n)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes out = a×bᵀ, reusing out's storage. out must have
+// shape (M,N) and is overwritten.
+func MatMulTInto(out, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
-	workers := runtime.GOMAXPROCS(0)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.data[j*k : (j+1)*k]
-				s := 0.0
-				for p := range arow {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
-			}
-		}
+	if out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: MatMulTInto output shape mismatch")
 	}
+	workers := runtime.GOMAXPROCS(0)
+	// Serial fast path first, before anything that could allocate: the
+	// band closure below escapes to its goroutines, and materializing it
+	// here would put a heap allocation on every small matmul.
 	if m*n < matmulParallelThreshold || workers <= 1 {
-		body(0, m)
-		return out
+		matmulTRange(out.data, a.data, b.data, 0, m, k, n)
+		return
 	}
 	if workers > m {
 		workers = m
@@ -129,10 +129,28 @@ func MatMulT(a, b *Tensor) *Tensor {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) { defer wg.Done(); body(lo, hi) }(lo, hi)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulTRange(out.data, a.data, b.data, lo, hi, k, n)
+		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+}
+
+// matmulTRange computes rows [lo,hi) of out = a×bᵀ.
+func matmulTRange(out, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
 }
 
 // TMatMul returns aᵀ×b for shapes (K,M) and (K,N) without materializing
@@ -141,12 +159,24 @@ func TMatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: TMatMul requires 2-D tensors")
 	}
+	m, n := a.shape[1], b.shape[1]
+	out := New(m, n)
+	TMatMulInto(out, a, b)
+	return out
+}
+
+// TMatMulInto computes out = aᵀ×b, reusing out's storage. out must have
+// shape (M,N) and is overwritten.
+func TMatMulInto(out, a, b *Tensor) {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
+	if out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: TMatMulInto output shape mismatch")
+	}
+	out.Zero()
 	for p := 0; p < k; p++ {
 		arow := a.data[p*m : (p+1)*m]
 		brow := b.data[p*n : (p+1)*n]
@@ -160,7 +190,6 @@ func TMatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MatVec returns a×x for a (M,K) matrix and length-K vector, as shape (M).

@@ -15,41 +15,25 @@ func checkSame(op string, a, b *Tensor) {
 // Add returns a+b elementwise.
 func Add(a, b *Tensor) *Tensor {
 	checkSame("Add", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
-	return out
+	return AddInto(New(a.shape...), a, b)
 }
 
 // Sub returns a-b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	checkSame("Sub", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
-	return out
+	return SubInto(New(a.shape...), a, b)
 }
 
 // Mul returns a*b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
 	checkSame("Mul", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
-	return out
+	return MulInto(New(a.shape...), a, b)
 }
 
 // Div returns a/b elementwise.
 func Div(a, b *Tensor) *Tensor {
 	checkSame("Div", a, b)
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] / b.data[i]
-	}
-	return out
+	return DivInto(New(a.shape...), a, b)
 }
 
 // AddInPlace sets a += b.
@@ -106,11 +90,7 @@ func (t *Tensor) Axpy(alpha float64, x *Tensor) *Tensor {
 
 // Apply returns a new tensor with f applied to each element.
 func Apply(a *Tensor, f func(float64) float64) *Tensor {
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = f(a.data[i])
-	}
-	return out
+	return ApplyInto(New(a.shape...), a, f)
 }
 
 // ApplyInPlace applies f to each element in place.
@@ -203,19 +183,7 @@ func (t *Tensor) ArgmaxRows() []int {
 	if len(t.shape) != 2 {
 		panic("tensor: ArgmaxRows requires a 2-D tensor")
 	}
-	r, c := t.shape[0], t.shape[1]
-	out := make([]int, r)
-	for i := 0; i < r; i++ {
-		row := t.data[i*c : (i+1)*c]
-		best, bi := math.Inf(-1), 0
-		for j, v := range row {
-			if v > best {
-				best, bi = v, j
-			}
-		}
-		out[i] = bi
-	}
-	return out
+	return t.ArgmaxRowsInto(nil)
 }
 
 // SumAxis0 reduces a 2-D tensor over rows, returning a length-C vector
@@ -224,15 +192,7 @@ func SumAxis0(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: SumAxis0 requires a 2-D tensor")
 	}
-	r, c := a.shape[0], a.shape[1]
-	out := New(c)
-	for i := 0; i < r; i++ {
-		row := a.data[i*c : (i+1)*c]
-		for j, v := range row {
-			out.data[j] += v
-		}
-	}
-	return out
+	return SumAxis0Into(New(a.shape[1]), a)
 }
 
 // MeanAxis0 reduces a 2-D tensor over rows by averaging.
@@ -282,29 +242,7 @@ func SoftmaxRows(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: SoftmaxRows requires a 2-D tensor")
 	}
-	r, c := a.shape[0], a.shape[1]
-	out := New(r, c)
-	for i := 0; i < r; i++ {
-		row := a.data[i*c : (i+1)*c]
-		orow := out.data[i*c : (i+1)*c]
-		m := math.Inf(-1)
-		for _, v := range row {
-			if v > m {
-				m = v
-			}
-		}
-		s := 0.0
-		for j, v := range row {
-			e := math.Exp(v - m)
-			orow[j] = e
-			s += e
-		}
-		inv := 1 / s
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
-	return out
+	return SoftmaxRowsInto(New(a.shape...), a)
 }
 
 // Transpose returns the transpose of a 2-D tensor.
@@ -312,14 +250,7 @@ func Transpose(a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: Transpose requires a 2-D tensor")
 	}
-	r, c := a.shape[0], a.shape[1]
-	out := New(c, r)
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			out.data[j*r+i] = a.data[i*c+j]
-		}
-	}
-	return out
+	return TransposeInto(New(a.shape[1], a.shape[0]), a)
 }
 
 // Clip bounds each element to [lo, hi] in place.

@@ -19,6 +19,11 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float64
+	// wsIdx is the tensor's slot in its owning Workspace's live-borrow
+	// list while borrowed (Workspace.Get), -1 once released. Tensors that
+	// never passed through a workspace leave it at the zero value; Put
+	// validates against the live list, so the field never misfires.
+	wsIdx int
 }
 
 // New allocates a zero-filled tensor with the given shape. A scalar may be
@@ -27,7 +32,10 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			// The message deliberately omits the full shape: formatting it
+			// would make the variadic slice escape, putting a heap
+			// allocation on every New/Workspace.Get call site.
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
 		}
 		n *= d
 	}
@@ -153,14 +161,16 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	}
 	out := append([]int(nil), shape...)
 	if infer >= 0 {
+		// Messages omit the requested shape so the variadic slice does not
+		// escape (see New); t.shape still identifies the tensor.
 		if n == 0 || len(t.data)%n != 0 {
-			panic(fmt.Sprintf("tensor: cannot infer dim for Reshape(%v) of %v", shape, t.shape))
+			panic(fmt.Sprintf("tensor: cannot infer Reshape dim for %v", t.shape))
 		}
 		out[infer] = len(t.data) / n
 		n *= out[infer]
 	}
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: Reshape(%v) volume mismatch for %v", shape, t.shape))
+		panic(fmt.Sprintf("tensor: Reshape volume %d mismatch for %v", n, t.shape))
 	}
 	return &Tensor{shape: out, data: t.data}
 }
