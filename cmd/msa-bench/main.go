@@ -9,6 +9,7 @@
 //	msa-bench -exp e3         # one experiment
 //	msa-bench -scale full     # paper-scale parameters (slower)
 //	msa-bench -metrics        # also dump machine-readable metrics
+//	msa-bench -suite -out BENCH_2026-08-07.json   # standing perf suite
 package main
 
 import (
@@ -26,7 +27,21 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "quick | full")
 	metrics := flag.Bool("metrics", false, "print machine-readable metrics after each report")
 	list := flag.Bool("list", false, "list experiments and exit")
+	suite := flag.Bool("suite", false, "run the standing benchmark suite and write a JSON report")
+	out := flag.String("out", "", "output path for -suite (default BENCH_<date>.json)")
 	flag.Parse()
+
+	if *suite {
+		path := *out
+		if path == "" {
+			path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+		}
+		if err := runSuite(path); err != nil {
+			fmt.Fprintf(os.Stderr, "msa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/distdl"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// The standing benchmark suite: a fixed set of small training workloads
+// whose headline numbers (throughput, comm fraction, overlap ratio,
+// bubble fraction) plus steady-state allocs/op gates are written to a
+// BENCH_<date>.json committed per PR, so the performance trajectory of
+// the tree persists alongside the code (ROADMAP item 4). Numbers are
+// host-dependent; the JSON records the host so runs are comparable only
+// within a machine class. Bubble fractions are planned-schedule replays
+// (pipeline.PlannedBubble) and are host-independent.
+
+type benchWorkload struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	Stages       int     `json:"pipeline_stages,omitempty"`
+	Replicas     int     `json:"replicas,omitempty"`
+	MicroBatches int     `json:"micro_batches,omitempty"`
+	Schedule     string  `json:"schedule,omitempty"`
+	Steps        int     `json:"steps"`
+	Throughput   float64 `json:"throughput_samples_per_sec"`
+	CommFraction float64 `json:"comm_fraction"`
+	OverlapRatio float64 `json:"overlap_ratio,omitempty"`
+	Bubble       float64 `json:"bubble_fraction,omitempty"`
+	FinalLoss    float64 `json:"final_loss"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+type benchAllocGate struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Description string  `json:"description"`
+}
+
+type benchReport struct {
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	Workloads  []benchWorkload  `json:"workloads"`
+	AllocGates []benchAllocGate `json:"alloc_gates"`
+}
+
+// runSuite executes every workload and writes the JSON report to path.
+func runSuite(path string) error {
+	const samples, epochs, batch = 48, 2, 8
+	rep := benchReport{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	ddp := func(name string, cfg core.DDPConfig, stages, replicas int) {
+		ds := data.GenMultispectral(data.MultispectralConfig{Samples: samples, Seed: cfg.Seed})
+		split := data.TrainValSplit(samples, 0.25, cfg.Seed+1)
+		res := core.TrainResNetBigEarthNet(cfg, ds, split)
+		shards := cfg.Workers
+		if replicas > 0 {
+			shards = replicas
+		}
+		w := benchWorkload{
+			Name: name, Workers: cfg.Workers, Steps: res.Steps,
+			Stages: stages, Replicas: replicas,
+			MicroBatches: cfg.MicroBatches, Schedule: schedName(cfg),
+			CommFraction: res.CommFraction, OverlapRatio: res.OverlapRatio,
+			Bubble: res.BubbleFraction, FinalLoss: res.FinalLoss,
+			WallSeconds: res.WallSeconds,
+		}
+		if res.WallSeconds > 0 {
+			w.Throughput = float64(res.Steps*cfg.Batch*shards) / res.WallSeconds
+		}
+		rep.Workloads = append(rep.Workloads, w)
+		fmt.Printf("  %-22s %7.1f samples/s  comm %.3f  overlap %.3f  bubble %.3f\n",
+			name, w.Throughput, w.CommFraction, w.OverlapRatio, w.Bubble)
+	}
+
+	base := core.DDPConfig{Workers: 4, Epochs: epochs, Batch: batch, BaseLR: 0.02, Seed: 11}
+	fmt.Println("benchmark suite:")
+	ddp("ddp-ring-w4", base, 0, 0)
+
+	over := base
+	over.Overlap = true
+	ddp("ddp-overlap-w4", over, 0, 0)
+
+	zero := base
+	zero.ZeRO = true
+	ddp("zero1-w4", zero, 0, 0)
+
+	gp := base
+	gp.PipelineStages, gp.MicroBatches, gp.PipeSchedule = 4, 4, pipeline.GPipe
+	ddp("pipeline-gpipe-4stage", gp, 4, 1)
+
+	fb := gp
+	fb.PipeSchedule = pipeline.OneFOneB
+	ddp("pipeline-1f1b-4stage", fb, 4, 1)
+
+	grid := base
+	grid.PipelineStages, grid.MicroBatches, grid.PipeSchedule = 2, 4, pipeline.OneFOneB
+	ddp("2d-1f1b-2x2", grid, 2, 2)
+
+	rep.AllocGates = append(rep.AllocGates,
+		benchAllocGate{
+			Name:        "ddp-trainer-step",
+			AllocsPerOp: measureTrainerStepAllocs(),
+			Description: "heap allocations per steady-state single-rank distdl.Trainer.Step (workspace-pooled hot path)",
+		},
+		benchAllocGate{
+			Name:        "pipeline-step-3stage",
+			AllocsPerOp: measurePipelineStepAllocs(),
+			Description: "heap allocations per steady-state 3-stage pipeline step, summed across ranks",
+		},
+	)
+	for _, g := range rep.AllocGates {
+		fmt.Printf("  %-22s %7.1f allocs/op\n", g.Name, g.AllocsPerOp)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func schedName(cfg core.DDPConfig) string {
+	if cfg.PipelineStages > 1 {
+		return cfg.PipeSchedule.String()
+	}
+	return ""
+}
+
+// measureTrainerStepAllocs counts heap allocations of a steady-state
+// single-rank trainer step (after pool warmup) via runtime.MemStats.
+func measureTrainerStepAllocs() float64 {
+	var allocs float64
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		rng := rand.New(rand.NewSource(5))
+		model := nn.MLP(rng, 32, 64, 64, 10)
+		tr := distdl.New(c, model, nn.SoftmaxCrossEntropy{}, nn.NewSGD(0.9, 0))
+		x := tensor.Randn(rng, 1, 16, 32)
+		y := tensor.New(16, 10)
+		for r := 0; r < 16; r++ {
+			y.Data()[r*10+rng.Intn(10)] = 1
+		}
+		for i := 0; i < 5; i++ {
+			tr.Step(x, y)
+		}
+		allocs = allocsOver(func() {
+			for i := 0; i < 20; i++ {
+				tr.Step(x, y)
+			}
+		}) / 20
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return allocs
+}
+
+// measurePipelineStepAllocs counts heap allocations per steady-state
+// 3-stage pipeline step. Mallocs is process-global, so the figure sums
+// all three ranks' work; barriers fence the measured window.
+func measurePipelineStepAllocs() float64 {
+	var allocs float64
+	w := mpi.NewWorld(3)
+	err := w.Run(func(c *mpi.Comm) error {
+		rng := rand.New(rand.NewSource(5))
+		model := nn.MLP(rng, 32, 48, 48, 48, 10)
+		st, err := pipeline.New(c, model, nn.MSE{}, pipeline.Config{MicroBatches: 4, Schedule: pipeline.OneFOneB})
+		if err != nil {
+			return err
+		}
+		x := tensor.Randn(rng, 1, 8, 32)
+		y := tensor.Randn(rng, 1, 8, 10)
+		for i := 0; i < 3; i++ {
+			model.ZeroGrads()
+			st.Step(x, y)
+		}
+		c.Barrier()
+		run := func() {
+			for i := 0; i < 10; i++ {
+				model.ZeroGrads()
+				st.Step(x, y)
+			}
+			c.Barrier()
+		}
+		if c.Rank() == 0 {
+			allocs = allocsOver(run) / 10
+		} else {
+			run()
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return allocs
+}
+
+// allocsOver returns the process-wide heap allocation count of fn.
+func allocsOver(fn func()) float64 {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs - m0.Mallocs)
+}

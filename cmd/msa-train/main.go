@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/mpi"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -32,13 +33,23 @@ func main() {
 	overlap := flag.Bool("overlap", false, "overlap bucketed gradient allreduce with backward compute")
 	bucketKB := flag.Int("bucket-kb", 0, "gradient bucket size in KiB (0 = default when -overlap, monolithic otherwise)")
 	zero := flag.Bool("zero", false, "use ZeRO-1 sharded optimizer state (DeepSpeed style)")
+	stages := flag.Int("pipeline-stages", 0, "pipeline depth S for 2D data×pipeline training (0 = plain DDP; must divide -workers)")
+	micro := flag.Int("microbatch", 4, "pipeline micro-batches per step (with -pipeline-stages)")
+	pipeSched := flag.String("pipe-schedule", "gpipe", "pipeline schedule: gpipe | 1f1b")
+	virtual := flag.Int("virtual-chunks", 0, "model chunks per stage (0 = schedule default: 1 gpipe, 2 1f1b)")
 	seed := flag.Int64("seed", 1, "global seed")
 	flag.Parse()
 
+	sched, err := pipeline.ParseSchedule(*pipeSched)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msa-train: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := core.DDPConfig{
 		Workers: *workers, Epochs: *epochs, Batch: *batch,
 		BaseLR: *lr, Warmup: *warmup, Algo: mpi.Algo(*algo), FP16: *fp16,
 		Overlap: *overlap, BucketBytes: *bucketKB * 1024, ZeRO: *zero, Seed: *seed,
+		PipelineStages: *stages, MicroBatches: *micro, PipeSchedule: sched, VirtualChunks: *virtual,
 	}
 
 	var res core.DDPResult
@@ -60,7 +71,12 @@ func main() {
 	}
 
 	fmt.Printf("dataset        %s (%d synthetic samples)\n", *dataset, *samples)
-	fmt.Printf("workers        %d  (allreduce=%s, fp16=%v, overlap=%v)\n", *workers, *algo, *fp16, *overlap)
+	if *stages > 1 {
+		fmt.Printf("workers        %d  (2D: %d pipeline stages x %d replicas, %s, %d micro-batches)\n",
+			*workers, *stages, *workers / *stages, sched, *micro)
+	} else {
+		fmt.Printf("workers        %d  (allreduce=%s, fp16=%v, overlap=%v)\n", *workers, *algo, *fp16, *overlap)
+	}
 	fmt.Printf("optimizer steps %d\n", res.Steps)
 	fmt.Printf("final loss     %.4f\n", res.FinalLoss)
 	fmt.Printf("train %-9s %.3f\n", metric, res.TrainMetric)
@@ -70,5 +86,8 @@ func main() {
 	fmt.Printf("comm fraction  %.3f\n", res.CommFraction)
 	if *overlap {
 		fmt.Printf("overlap ratio  %.3f (allreduce time hidden behind backward)\n", res.OverlapRatio)
+	}
+	if *stages > 1 {
+		fmt.Printf("bubble fraction %.3f (planned %s schedule, S=%d M=%d)\n", res.BubbleFraction, sched, *stages, *micro)
 	}
 }

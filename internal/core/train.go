@@ -4,10 +4,13 @@ import (
 	"math/rand"
 	"time"
 
+	"fmt"
+
 	"repro/internal/data"
 	"repro/internal/distdl"
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -35,7 +38,20 @@ type DDPConfig struct {
 	// ZeRO switches to the DeepSpeed-style sharded-optimizer trainer
 	// (Adam state split across ranks) instead of replicated SGD.
 	ZeRO bool
-	Seed int64
+	// PipelineStages, when > 1, switches to 2D (data × pipeline) training:
+	// the Workers ranks form Workers/PipelineStages replica groups, each
+	// running the model as a PipelineStages-deep pipeline. Must divide
+	// Workers. Mutually exclusive with ZeRO/Overlap/FP16 (the pipeline
+	// path has its own per-chunk gradient sync).
+	PipelineStages int
+	// MicroBatches is the pipeline micro-batch count per step (M);
+	// defaults to 4 when PipelineStages > 1 and this is 0.
+	MicroBatches int
+	// PipeSchedule selects gpipe or 1f1b (default gpipe).
+	PipeSchedule pipeline.Schedule
+	// VirtualChunks is the interleaving depth v (0 = schedule default).
+	VirtualChunks int
+	Seed          int64
 	// Tracer, when non-nil, is attached to the MPI world (per-rank
 	// collective spans) and both trainer kinds (compute/comm/step spans),
 	// yielding one Chrome-trace track per rank.
@@ -58,6 +74,10 @@ type DDPResult struct {
 	// behind backward compute (0 unless Overlap was on).
 	CommFraction float64
 	OverlapRatio float64
+	// BubbleFraction is the pipeline schedule's idle fraction (0 unless
+	// PipelineStages > 1): the planned-schedule replay measure, which is
+	// independent of host core count (see pipeline.PlannedBubble).
+	BubbleFraction float64
 }
 
 // TrainResNetBigEarthNet trains the mini ResNet on a synthetic
@@ -104,6 +124,21 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 	if cfg.Algo == "" {
 		cfg.Algo = mpi.AlgoRing
 	}
+	pipelined := cfg.PipelineStages > 1
+	if pipelined {
+		if cfg.Workers%cfg.PipelineStages != 0 {
+			panic(fmt.Sprintf("core: %d workers not divisible by %d pipeline stages", cfg.Workers, cfg.PipelineStages))
+		}
+		if cfg.MicroBatches == 0 {
+			cfg.MicroBatches = 4
+		}
+		if cfg.Batch < cfg.MicroBatches {
+			panic(fmt.Sprintf("core: per-replica batch %d smaller than %d micro-batches", cfg.Batch, cfg.MicroBatches))
+		}
+		if cfg.ZeRO || cfg.Overlap || cfg.FP16 {
+			panic("core: pipeline mode does not compose with ZeRO/Overlap/FP16")
+		}
+	}
 	var sched nn.Schedule
 	if cfg.Warmup > 0 {
 		sched = nn.WarmupLinearScale{Base: cfg.BaseLR, Workers: cfg.Workers, WarmupSteps: cfg.Warmup}
@@ -130,20 +165,37 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 	err := world.Run(func(c *mpi.Comm) error {
 		model := build()
 		var tr distdl.Stepper
-		if cfg.ZeRO {
+		switch {
+		case pipelined:
+			tr = distdl.New(c, model, loss, nn.NewSGD(0.9, 1e-4),
+				distdl.WithSchedule(sched), distdl.WithTracer(cfg.Tracer),
+				distdl.WithPipeline(cfg.PipelineStages, cfg.MicroBatches, cfg.PipeSchedule),
+				distdl.WithVirtualChunks(cfg.VirtualChunks))
+		case cfg.ZeRO:
 			tr = distdl.New(c, model, loss, nil, distdl.WithZeRO(),
 				distdl.WithAlgo(cfg.Algo), distdl.WithSchedule(sched), distdl.WithTracer(cfg.Tracer))
-		} else {
+		default:
 			tr = distdl.New(c, model, loss, nn.NewSGD(0.9, 1e-4),
 				distdl.WithAlgo(cfg.Algo), distdl.WithCompression(comp), distdl.WithSchedule(sched),
 				distdl.WithTracer(cfg.Tracer), distdl.WithBucketBytes(cfg.BucketBytes),
 				distdl.WithOverlap(cfg.Overlap))
 		}
 		plain, _ := tr.(*distdl.Trainer)
+		pipeTr, _ := tr.(*distdl.PipelineTrainer)
+		// Data sharding: in DDP every rank is its own shard; in 2D every
+		// replica group is one shard, and all its stage ranks must iterate
+		// the identical batch sequence.
+		shardIdx, shards := c.Rank(), cfg.Workers
+		if pipeTr != nil {
+			shardIdx, shards = pipeTr.Replica(), pipeTr.Replicas()
+		}
 		var last float64
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			shard := distdl.Shard(len(split.Train), cfg.Seed+int64(epoch), c.Rank(), cfg.Workers)
+			shard := distdl.Shard(len(split.Train), cfg.Seed+int64(epoch), shardIdx, shards)
 			for _, batch := range distdl.Batches(shard, cfg.Batch) {
+				if pipeTr != nil && len(batch) < cfg.MicroBatches {
+					continue // tail batch too small to split into micros
+				}
 				idx := make([]int, len(batch))
 				for i, b := range batch {
 					idx[i] = split.Train[b]
@@ -152,6 +204,11 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 				last = tr.Step(bx, by)
 			}
 		}
+		if pipeTr != nil {
+			// Collective per replica group: afterwards every rank holds the
+			// full trained model, so rank-0 evaluation sees all chunks.
+			pipeTr.SyncFullModel()
+		}
 		if c.Rank() == 0 {
 			out.FinalLoss = last
 			out.Steps = tr.StepCount()
@@ -159,6 +216,10 @@ func runDDP(cfg DDPConfig, build func() *nn.Sequential, loss nn.Loss,
 			if plain != nil {
 				out.GradBytes = plain.GradBytesSent
 				out.OverlapRatio = plain.OverlapRatio()
+			}
+			if pipeTr != nil {
+				out.BubbleFraction = pipeline.PlannedBubble(
+					cfg.PipelineStages, cfg.VirtualChunks, cfg.MicroBatches, cfg.PipeSchedule, 1, 2)
 			}
 			out.TrainMetric = evalFn(model, split.Train)
 			if len(split.Val) > 0 {

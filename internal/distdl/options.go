@@ -3,6 +3,7 @@ package distdl
 import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -30,6 +31,15 @@ type Option func(*newConfig)
 type newConfig struct {
 	cfg  Config
 	zero bool
+	pipe pipeOptions
+}
+
+// pipeOptions collects the pipeline-parallel axis of a 2D trainer.
+type pipeOptions struct {
+	stages        int
+	microBatches  int
+	schedule      pipeline.Schedule
+	virtualChunks int
 }
 
 // WithConfig replaces the whole Config at once — the bridge for callers
@@ -70,15 +80,46 @@ func WithMetrics(r *telemetry.Registry) Option { return func(n *newConfig) { n.c
 // trainer's built-in Adam); pass nil.
 func WithZeRO() Option { return func(n *newConfig) { n.zero = true } }
 
+// WithPipeline selects the 2D (data × pipeline) trainer: the world's W
+// ranks form W/stages replica groups, each running the model as a
+// `stages`-deep pipeline with the given micro-batch count and schedule,
+// while corresponding stages across replicas average their chunk
+// gradients data-parallel. stages must divide the world size; stages ==
+// world size is pure pipeline parallelism (one replica). Requires a
+// concrete *mpi.Comm (the trainer splits it along both axes). Mutually
+// exclusive with WithZeRO; bucketing/overlap/compression options are
+// ignored — inter-stage traffic is already point-to-point and per-chunk
+// gradient sync is its own overlap unit.
+func WithPipeline(stages, microBatches int, schedule pipeline.Schedule) Option {
+	return func(n *newConfig) {
+		n.pipe.stages = stages
+		n.pipe.microBatches = microBatches
+		n.pipe.schedule = schedule
+	}
+}
+
+// WithVirtualChunks sets the interleaving depth v of the pipeline axis:
+// each stage hosts v model chunks (chunk c lives on stage c mod S).
+// Defaults to 2 for the 1F1B schedule and 1 for GPipe; only meaningful
+// together with WithPipeline.
+func WithVirtualChunks(v int) Option { return func(n *newConfig) { n.pipe.virtualChunks = v } }
+
 // New builds a distributed trainer for one rank over comm, broadcasting
 // rank 0's parameters so every replica starts identical. The concrete
-// type behind the returned Stepper is *Trainer, or *ZeROTrainer under
-// WithZeRO; callers needing the wider concrete surface (Checkpoint,
-// Restore, ParamsInSync) type-assert accordingly.
+// type behind the returned Stepper is *Trainer, *ZeROTrainer under
+// WithZeRO, or *PipelineTrainer under WithPipeline; callers needing the
+// wider concrete surface (Checkpoint, Restore, ParamsInSync,
+// SyncFullModel) type-assert accordingly.
 func New(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, opts ...Option) Stepper {
 	var n newConfig
 	for _, o := range opts {
 		o(&n)
+	}
+	if n.pipe.stages > 0 {
+		if n.zero {
+			panic("distdl: WithPipeline and WithZeRO are mutually exclusive")
+		}
+		return newPipelineTrainer(comm, model, loss, opt, n.cfg, n.pipe)
 	}
 	if n.zero {
 		return newZeROTrainer(comm, model, loss, n.cfg)

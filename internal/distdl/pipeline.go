@@ -1,0 +1,178 @@
+package distdl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// 2D (data × pipeline) training. The world's W ranks are a grid of
+// R = W/S replicas × S pipeline stages: rank = rep·S + stage. Each
+// replica group runs the model as an S-stage pipeline over its own
+// minibatch shard; corresponding stages across replicas form
+// data-parallel groups that average their chunk gradients. Both axes are
+// mpi.SubComms from Comm.Split, so pipeline p2p traffic and per-stage
+// allreduce rings coexist without cross-talk (disjoint tag blocks).
+//
+// Gradient sync overlaps with the pipeline tail: the pipeline engine
+// fires a hook the moment a chunk's last micro-batch backward completes,
+// and the hook runs that chunk's data-parallel allreduce right there —
+// while other chunks' backwards are still draining. All replicas execute
+// the same planned schedule, so the hooks fire in the same chunk order on
+// every member of a data-parallel group and the blocking ring inside the
+// hook cannot deadlock.
+
+// PipelineTrainer drives one rank of a 2D data×pipeline grid. It
+// implements Stepper; construct it via New(..., WithPipeline(...)).
+type PipelineTrainer struct {
+	Comm  *mpi.Comm
+	Model *nn.Sequential
+	Loss  nn.Loss
+	Opt   nn.Optimizer
+	Cfg   Config
+
+	stage   *pipeline.Stage
+	pipe    *mpi.SubComm // this rank's replica group (pipeline axis)
+	dp      *mpi.SubComm // this rank's stage group (data axis)
+	rep     int          // replica index: world rank / stages
+	stageID int          // pipeline stage: world rank % stages
+
+	localParams []*nn.Param // concatenated params of this rank's chunks
+	chunkBuf    [][]float64 // per-chunk flat gradient buffers (local only)
+	lossBuf     []float64
+
+	step      int
+	computeNS int64
+	commNS    int64
+}
+
+// newPipelineTrainer splits comm into the 2D grid and builds this rank's
+// pipeline stage. Parameters are broadcast from world rank 0 first, so
+// every replica and stage starts from identical weights.
+func newPipelineTrainer(comm mpi.Communicator, model *nn.Sequential, loss nn.Loss, opt nn.Optimizer, cfg Config, pc pipeOptions) *PipelineTrainer {
+	wc, ok := comm.(*mpi.Comm)
+	if !ok {
+		panic(fmt.Sprintf("distdl: WithPipeline needs a concrete *mpi.Comm to split, got %T", comm))
+	}
+	W, S := wc.Size(), pc.stages
+	if S < 1 || W%S != 0 {
+		panic(fmt.Sprintf("distdl: world size %d is not divisible by %d pipeline stages", W, S))
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = nn.ConstLR(0.01)
+	}
+	params := model.Params()
+	flat := nn.FlattenValues(params)
+	flat = wc.Bcast(0, flat)
+	nn.UnflattenValues(params, flat)
+
+	t := &PipelineTrainer{
+		Comm: wc, Model: model, Loss: loss, Opt: opt, Cfg: cfg,
+		rep: wc.Rank() / S, stageID: wc.Rank() % S,
+		lossBuf: make([]float64, 1),
+	}
+	t.pipe = wc.Split(t.rep, wc.Rank())
+	t.dp = wc.Split(t.stageID, wc.Rank())
+	st, err := pipeline.New(t.pipe, model, loss, pipeline.Config{
+		MicroBatches:  pc.microBatches,
+		Schedule:      pc.schedule,
+		VirtualChunks: pc.virtualChunks,
+		Tracer:        cfg.Tracer,
+		Metrics:       cfg.Metrics,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("distdl: building pipeline stage: %v", err))
+	}
+	t.stage = st
+	t.chunkBuf = make([][]float64, st.Chunks())
+	for _, c := range st.LocalChunks() {
+		cp := st.ChunkParams(c)
+		t.localParams = append(t.localParams, cp...)
+		t.chunkBuf[c] = make([]float64, nn.NumParams(cp))
+	}
+	if t.dp.Size() > 1 {
+		st.SetChunkBackwardHook(t.chunkHook)
+	}
+	return t
+}
+
+// chunkHook averages one chunk's finished gradients across the replicas,
+// called by the pipeline engine while the rest of the backward pass is
+// still in flight.
+func (t *PipelineTrainer) chunkHook(chunk int, params []*nn.Param) {
+	buf := t.chunkBuf[chunk]
+	if len(buf) == 0 {
+		return
+	}
+	buf = nn.FlattenGradsInto(buf, params)
+	t.chunkBuf[chunk] = buf
+	c0 := time.Now()
+	t.dp.AllreduceInPlace(buf, mpi.OpSum)
+	t.commNS += time.Since(c0).Nanoseconds()
+	inv := 1 / float64(t.dp.Size())
+	for i := range buf {
+		buf[i] *= inv
+	}
+	nn.UnflattenGrads(params, buf)
+}
+
+// Step runs one synchronous 2D optimizer step on this replica's minibatch
+// shard and returns the globally averaged loss. Every rank of a replica
+// group passes the same (x, y); different replica groups pass different
+// shards (of equal size, to keep the gradient a true global average).
+// Cfg.ClipNorm is not supported on the pipeline path (the global norm
+// would need a cross-stage reduction mid-step) and is ignored.
+func (t *PipelineTrainer) Step(x, y *tensor.Tensor) float64 {
+	t0 := time.Now()
+	commBefore := t.commNS
+	t.Model.ZeroGrads()
+	loss := t.stage.Step(x, y)
+	t.Opt.Step(t.localParams, t.Cfg.Schedule.LR(t.step))
+	t.step++
+	c0 := time.Now()
+	if t.dp.Size() > 1 {
+		t.lossBuf[0] = loss
+		t.dp.AllreduceInPlace(t.lossBuf, mpi.OpSum)
+		loss = t.lossBuf[0] / float64(t.dp.Size())
+	}
+	now := time.Now()
+	t.commNS += now.Sub(c0).Nanoseconds()
+	t.computeNS += now.Sub(t0).Nanoseconds() - (t.commNS - commBefore)
+	return loss
+}
+
+// Stage exposes the underlying pipeline executor (bubble fraction,
+// occupancy, workspace, chunk layout).
+func (t *PipelineTrainer) Stage() *pipeline.Stage { return t.stage }
+
+// Replica returns this rank's replica index along the data axis.
+func (t *PipelineTrainer) Replica() int { return t.rep }
+
+// Replicas returns the number of data-parallel replica groups.
+func (t *PipelineTrainer) Replicas() int { return t.dp.Size() }
+
+// StageID returns this rank's pipeline stage index.
+func (t *PipelineTrainer) StageID() int { return t.stageID }
+
+// SyncFullModel broadcasts every chunk's parameters from its owning stage
+// within this replica group, so the rank holds the complete trained model
+// (for evaluation or checkpointing). Collective over the replica group.
+func (t *PipelineTrainer) SyncFullModel() { t.stage.SyncFullModel() }
+
+// StepCount returns the number of optimizer steps taken.
+func (t *PipelineTrainer) StepCount() int { return t.step }
+
+// CommFraction returns the share of accumulated step time this rank spent
+// in data-parallel gradient/loss sync. Pipeline p2p waits are not charged
+// here — they are the bubble, reported by Stage().BubbleFraction().
+func (t *PipelineTrainer) CommFraction() float64 {
+	total := t.computeNS + t.commNS
+	if total == 0 {
+		return 0
+	}
+	return float64(t.commNS) / float64(total)
+}

@@ -1,0 +1,210 @@
+package distdl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// 2D (data × pipeline) equivalence: a W = S·R grid training on R equal
+// minibatch shards must reproduce, bitwise, the reference obtained by
+// running the single-rank micro-accumulation loop on each shard and
+// averaging the two shard gradients elementwise. With R = 2 the ring
+// allreduce computes exactly g0[i]+g1[i] on both members (one addition
+// per element, and FP addition is commutative), so no tolerance is
+// needed.
+
+func build2DModel(seed int64) *nn.Sequential {
+	return nn.MLP(rand.New(rand.NewSource(seed)), 10, 18, 16, 14, 6)
+}
+
+func shardBatch(seed int64, rows int) (*tensor.Tensor, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.Randn(rng, 1, rows, 10)
+	y := tensor.New(rows, 6)
+	for r := 0; r < rows; r++ {
+		y.Data()[r*6+rng.Intn(6)] = 1
+	}
+	return x, y
+}
+
+// microAccumGrads runs the micro-batched gradient-accumulation reference
+// on one shard and returns the resulting flat gradient and weighted loss.
+// Identical math to the pipeline engine's per-micro scaling.
+func microAccumGrads(model *nn.Sequential, loss nn.Loss, x, y *tensor.Tensor, M int) float64 {
+	n := x.Dim(0)
+	base, rem := n/M, n%M
+	rowLenX := x.Size() / n
+	rowLenY := y.Size() / n
+	total := 0.0
+	offX, offY := 0, 0
+	for m := 0; m < M; m++ {
+		rows := base
+		if m < rem {
+			rows++
+		}
+		shapeX := append([]int(nil), x.Shape()...)
+		shapeX[0] = rows
+		xm := tensor.New(shapeX...)
+		copy(xm.Data(), x.Data()[offX:offX+rows*rowLenX])
+		offX += rows * rowLenX
+		shapeY := append([]int(nil), y.Shape()...)
+		shapeY[0] = rows
+		ym := tensor.New(shapeY...)
+		copy(ym.Data(), y.Data()[offY:offY+rows*rowLenY])
+		offY += rows * rowLenY
+
+		out := model.Forward(xm, true)
+		w := float64(rows) / float64(n)
+		l, g := loss.Forward(out, ym)
+		g.Scale(w)
+		model.Backward(g)
+		total += l * w
+	}
+	return total
+}
+
+func run2DEquivalence(t *testing.T, S, R, M, steps int, sched pipeline.Schedule) {
+	t.Helper()
+	const rowsPerShard = 8
+	loss := nn.SoftmaxCrossEntropy{}
+
+	// Reference: one model per shard accumulates its micro grads; the 2D
+	// gradient is the elementwise mean; identical SGD updates keep every
+	// shard model in lockstep (they all start from the same seed).
+	refs := make([]*nn.Sequential, R)
+	refParams := make([][]*nn.Param, R)
+	for r := range refs {
+		refs[r] = build2DModel(3)
+		refParams[r] = refs[r].Params()
+	}
+	refOpt := nn.NewSGD(0.9, 0)
+	refLosses := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		lsum := 0.0
+		for r := 0; r < R; r++ {
+			refs[r].ZeroGrads()
+			x, y := shardBatch(int64(100+s*R+r), rowsPerShard)
+			lsum += microAccumGrads(refs[r], loss, x, y, M)
+		}
+		refLosses[s] = lsum / float64(R)
+		// Elementwise-average the shard gradients into every shard model,
+		// mirroring the allreduce, then step each so they stay identical.
+		nP := len(refParams[0])
+		for p := 0; p < nP; p++ {
+			g0 := refParams[0][p].Grad.Data()
+			for r := 1; r < R; r++ {
+				gr := refParams[r][p].Grad.Data()
+				for i := range g0 {
+					g0[i] += gr[i]
+				}
+			}
+			inv := 1 / float64(R)
+			for i := range g0 {
+				g0[i] *= inv
+			}
+			for r := 1; r < R; r++ {
+				copy(refParams[r][p].Grad.Data(), g0)
+			}
+		}
+		for r := 0; r < R; r++ {
+			refOpt.Step(refParams[r], 0.05)
+		}
+	}
+	refValues := nn.FlattenValues(refParams[0])
+
+	w := mpi.NewWorld(S * R)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := build2DModel(3)
+		tr := New(c, model, loss, nn.NewSGD(0.9, 0),
+			WithSchedule(nn.ConstLR(0.05)),
+			WithPipeline(S, M, sched),
+		).(*PipelineTrainer)
+		if tr.Replicas() != R {
+			return fmt.Errorf("rank %d: got %d replicas, want %d", c.Rank(), tr.Replicas(), R)
+		}
+		for s := 0; s < steps; s++ {
+			x, y := shardBatch(int64(100+s*R+tr.Replica()), rowsPerShard)
+			got := tr.Step(x, y)
+			if got != refLosses[s] {
+				return fmt.Errorf("rank %d step %d: loss %v, ref %v", c.Rank(), s, got, refLosses[s])
+			}
+		}
+		// Local chunk parameters must match the reference bitwise.
+		gotParams := model.Params()
+		for _, ci := range tr.Stage().LocalChunks() {
+			for _, p := range tr.Stage().ChunkParams(ci) {
+				for i, gp := range gotParams {
+					if gp != p {
+						continue
+					}
+					rp := refParams[0][i]
+					for j := range p.Value.Data() {
+						if p.Value.Data()[j] != rp.Value.Data()[j] {
+							return fmt.Errorf("rank %d: param %s[%d] = %v, ref %v",
+								c.Rank(), p.Name, j, p.Value.Data()[j], rp.Value.Data()[j])
+						}
+					}
+				}
+			}
+		}
+		// After SyncFullModel every rank holds the full reference model.
+		tr.SyncFullModel()
+		gotValues := nn.FlattenValues(gotParams)
+		for i := range gotValues {
+			if gotValues[i] != refValues[i] {
+				return fmt.Errorf("rank %d: synced model diverges at flat[%d]", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test2DGPipeTwoByTwo(t *testing.T)    { run2DEquivalence(t, 2, 2, 4, 3, pipeline.GPipe) }
+func Test2DOneFOneBTwoByTwo(t *testing.T) { run2DEquivalence(t, 2, 2, 4, 3, pipeline.OneFOneB) }
+func Test2DOneFOneBThreeStages(t *testing.T) {
+	run2DEquivalence(t, 3, 2, 4, 2, pipeline.OneFOneB)
+}
+
+// Test2DPurePipeline pins the R = 1 degenerate case: WithPipeline with
+// stages == world size is plain pipeline parallelism (no data axis), and
+// the chunk hook must not be installed (nothing to average).
+func Test2DPurePipeline(t *testing.T) { run2DEquivalence(t, 3, 1, 4, 2, pipeline.GPipe) }
+
+// Test2DStepAllocSteadyState extends the steady-state allocation gate to
+// the 2D path: after warmup, further Steps must not miss the workspace
+// pool, and the per-chunk flat-gradient buffers must not regrow.
+func Test2DStepAllocSteadyState(t *testing.T) {
+	const S, R, M = 2, 2, 4
+	loss := nn.SoftmaxCrossEntropy{}
+	w := mpi.NewWorld(S * R)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := build2DModel(3)
+		tr := New(c, model, loss, nn.NewSGD(0.9, 0),
+			WithPipeline(S, M, pipeline.OneFOneB),
+		).(*PipelineTrainer)
+		x, y := shardBatch(int64(7+tr.Replica()), 8)
+		for s := 0; s < 3; s++ {
+			tr.Step(x, y)
+		}
+		warm := tr.Stage().Workspace().Allocs()
+		for s := 0; s < 4; s++ {
+			tr.Step(x, y)
+		}
+		if got := tr.Stage().Workspace().Allocs(); got != warm {
+			return fmt.Errorf("rank %d: workspace pool misses grew %d -> %d in steady state", c.Rank(), warm, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

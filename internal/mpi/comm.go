@@ -51,6 +51,26 @@ func (c *Comm) Recv(src, tag int) ([]float64, int) {
 	return msg.data, msg.src
 }
 
+// RecvInto receives a message from src (or AnySource) with the given tag
+// into buf, releasing the wire-pool payload immediately, and returns the
+// element count and actual source rank. It is the pooled-receive
+// counterpart of Send's pooled copy: Recv hands the wire buffer to the
+// caller (who then owns it, and the pool refills on demand), while
+// RecvInto keeps the buffer circulating — the receive path per-micro-batch
+// pipeline traffic uses so steady-state activation transfers stay off the
+// allocator. Panics if the message does not fit in buf: a pipeline stage
+// knows its activation shapes, so truncation is a protocol bug, not a
+// runtime condition.
+func (c *Comm) RecvInto(src, tag int, buf []float64) (int, int) {
+	msg := c.world.boxes[c.rank].get(src, tag)
+	if len(msg.data) > len(buf) {
+		panic(fmt.Sprintf("mpi: RecvInto buffer too small: message %d elems, buffer %d", len(msg.data), len(buf)))
+	}
+	n := copy(buf, msg.data)
+	c.world.wire.put(msg.data)
+	return n, msg.src
+}
+
 // RecvTimeout is Recv with a deadline: the third return reports whether a
 // message arrived before the timeout elapsed. Heartbeat and failure-
 // detection protocols need a bounded wait — a plain Recv from a dead peer

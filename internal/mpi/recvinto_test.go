@@ -1,0 +1,194 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRecvIntoBasic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		const tag = 7
+		if c.Rank() == 0 {
+			c.Send(1, tag, []float64{1, 2, 3})
+			c.Send(1, tag, []float64{4, 5})
+			return nil
+		}
+		buf := make([]float64, 3)
+		n, src := c.RecvInto(0, tag, buf)
+		if n != 3 || src != 0 || buf[0] != 1 || buf[2] != 3 {
+			return fmt.Errorf("first RecvInto: n=%d src=%d buf=%v", n, src, buf)
+		}
+		// FIFO per (src, tag): the short message arrives second, into a
+		// larger buffer; only n elements are meaningful.
+		n, src = c.RecvInto(AnySource, tag, buf)
+		if n != 2 || src != 0 || buf[0] != 4 || buf[1] != 5 {
+			return fmt.Errorf("second RecvInto: n=%d src=%d buf=%v", n, src, buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvIntoTooSmallPanics(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		c.Send(0, 1, []float64{1, 2, 3, 4})
+		defer func() {
+			if recover() == nil {
+				t.Error("RecvInto into a short buffer did not panic")
+			}
+		}()
+		c.RecvInto(0, 1, make([]float64, 2))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvIntoRecyclesWire pins the pooled-receive property: after a warm
+// round, a Send→RecvInto ping-pong of a fixed size circulates one wire
+// buffer instead of allocating per message.
+func TestRecvIntoRecyclesWire(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		const tag, rounds, size = 2, 64, 1 << 10
+		buf := make([]float64, size)
+		if c.Rank() == 0 {
+			for i := 0; i < rounds; i++ {
+				c.Send(1, tag, buf)
+				c.RecvInto(1, tag, buf)
+			}
+		} else {
+			for i := 0; i < rounds; i++ {
+				c.RecvInto(0, tag, buf)
+				c.Send(0, tag, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With both receivers releasing payloads, the free list for this size
+	// class holds the circulating buffers at quiesce: at least one, and far
+	// fewer than one per message.
+	cls := wireClass(1 << 10)
+	w.wire.mu.Lock()
+	pooled := len(w.wire.free[cls])
+	w.wire.mu.Unlock()
+	if pooled < 1 {
+		t.Fatalf("wire pool empty after pooled-receive ping-pong")
+	}
+	if pooled > 8 {
+		t.Fatalf("wire pool grew to %d buffers over %d messages; recycling broken", pooled, 2*64)
+	}
+}
+
+func TestSubCommRecvIntoAnySource(t *testing.T) {
+	const p = 6
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		// Two sibling groups of three: {0,2,4} and {1,3,5}. Non-roots send
+		// a group-tagged payload; each root drains with AnySource and must
+		// see only its own siblings.
+		sub := c.Split(c.Rank()%2, c.Rank())
+		const tag = 5
+		if sub.Rank() != 0 {
+			sub.Send(0, tag, []float64{float64(c.Rank())})
+			return nil
+		}
+		buf := make([]float64, 1)
+		seen := map[int]bool{}
+		for i := 0; i < sub.Size()-1; i++ {
+			n, src := sub.RecvInto(AnySource, tag, buf)
+			if n != 1 {
+				return fmt.Errorf("root %d: n=%d", c.Rank(), n)
+			}
+			if int(buf[0]) != sub.WorldRank(src) {
+				return fmt.Errorf("root %d: got payload %v from group-local %d (world %d)",
+					c.Rank(), buf[0], src, sub.WorldRank(src))
+			}
+			if int(buf[0])%2 != c.Rank()%2 {
+				return fmt.Errorf("root %d: cross-group leak from world rank %v", c.Rank(), buf[0])
+			}
+			seen[src] = true
+		}
+		if len(seen) != sub.Size()-1 {
+			return fmt.Errorf("root %d: saw %d distinct senders", c.Rank(), len(seen))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitSiblingConcurrentCollectives drives the 2D-grid communication
+// shape under the race detector: a 4-stage × 2-replica split where all
+// four data-parallel sibling groups and both pipeline-axis groups run
+// collectives with no inter-group synchronization, sharing the world's
+// mailboxes and wire pool. split_test.go checks group shapes; this checks
+// concurrent traffic isolation and value correctness.
+func TestSplitSiblingConcurrentCollectives(t *testing.T) {
+	const stages, reps = 4, 2
+	const p = stages * reps
+	const iters = 50
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) error {
+		stage := c.Rank() % stages
+		rep := c.Rank() / stages
+		dp := c.Split(stage, c.Rank()) // sibling groups {0,4} {1,5} {2,6} {3,7}
+		pipe := c.Split(rep, c.Rank()) // sibling groups {0..3} {4..7}
+		if dp.Size() != reps || pipe.Size() != stages {
+			return fmt.Errorf("rank %d: grid %dx%d", c.Rank(), dp.Size(), pipe.Size())
+		}
+		data := make([]float64, 37)
+		for iter := 0; iter < iters; iter++ {
+			// Data-parallel axis: sum over replicas of (world rank + iter + i).
+			for i := range data {
+				data[i] = float64(c.Rank() + iter + i)
+			}
+			got := dp.Allreduce(data, OpSum)
+			for i := range got {
+				want := 0.0
+				for d := 0; d < reps; d++ {
+					want += float64(d*stages + stage + iter + i)
+				}
+				if got[i] != want {
+					return fmt.Errorf("rank %d iter %d: dp allreduce[%d]=%v want %v", c.Rank(), iter, i, got[i], want)
+				}
+			}
+			// Pipeline axis: sum over stages.
+			for i := range data {
+				data[i] = float64(c.Rank()*10 + iter + i)
+			}
+			got = pipe.Allreduce(data, OpSum)
+			for i := range got {
+				want := 0.0
+				for s := 0; s < stages; s++ {
+					want += float64((rep*stages+s)*10 + iter + i)
+				}
+				if got[i] != want {
+					return fmt.Errorf("rank %d iter %d: pipe allreduce[%d]=%v want %v", c.Rank(), iter, i, got[i], want)
+				}
+			}
+			// Broadcast along the pipeline axis from its root.
+			b := []float64{float64(iter)}
+			if pipe.Rank() != 0 {
+				b[0] = -1
+			}
+			b = pipe.Bcast(0, b)
+			if b[0] != float64(iter) {
+				return fmt.Errorf("rank %d iter %d: bcast got %v", c.Rank(), iter, b[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

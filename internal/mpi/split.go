@@ -24,6 +24,9 @@ type SubComm struct {
 	members []int
 	myIdx   int
 	tagBase int
+	// scratch is the reusable ring-segment receive buffer for
+	// AllreduceInPlace (one chunk of the largest vector seen so far).
+	scratch []float64
 }
 
 // splitState coordinates one Split call across ranks.
@@ -125,6 +128,34 @@ func (s *SubComm) Recv(src, tag int) []float64 {
 	return data
 }
 
+// RecvInto receives from group-local rank src (or AnySource) into buf,
+// recycling the wire buffer, and returns the element count and the
+// group-local source rank. AnySource is safe here because tagBase makes
+// the tag unique to this group: only siblings' messages can match.
+func (s *SubComm) RecvInto(src, tag int, buf []float64) (int, int) {
+	worldSrc := AnySource
+	if src != AnySource {
+		worldSrc = s.members[src]
+	}
+	n, from := s.parent.RecvInto(worldSrc, s.tagBase+tag, buf)
+	for i, r := range s.members {
+		if r == from {
+			return n, i
+		}
+	}
+	panic(fmt.Sprintf("mpi: SubComm.RecvInto matched world rank %d outside group %v", from, s.members))
+}
+
+// Probe reports whether a matching group message (src may be AnySource)
+// is already queued, without consuming it.
+func (s *SubComm) Probe(src, tag int) bool {
+	worldSrc := AnySource
+	if src != AnySource {
+		worldSrc = s.members[src]
+	}
+	return s.parent.Probe(worldSrc, s.tagBase+tag)
+}
+
 // Allreduce runs a ring allreduce inside the group.
 func (s *SubComm) Allreduce(data []float64, op ReduceOp) []float64 {
 	p, r, n := s.Size(), s.myIdx, len(data)
@@ -154,6 +185,46 @@ func (s *SubComm) Allreduce(data []float64, op ReduceOp) []float64 {
 		copy(acc[rlo:rlo+len(got)], got)
 	}
 	return acc
+}
+
+// AllreduceInPlace runs the same ring allreduce as Allreduce but combines
+// into data directly, receiving ring segments into a reusable scratch
+// chunk via pooled RecvInto — no per-call allocation once scratch is
+// warm. This is the steady-state path for per-chunk gradient sync in 2D
+// (data × pipeline) training, where an allocating allreduce per chunk per
+// step would defeat the workspace pooling the trainers rely on.
+func (s *SubComm) AllreduceInPlace(data []float64, op ReduceOp) {
+	p, r, n := s.Size(), s.myIdx, len(data)
+	if p == 1 {
+		return
+	}
+	maxChunk := (n + p - 1) / p
+	if cap(s.scratch) < maxChunk {
+		s.scratch = make([]float64, maxChunk)
+	}
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	const ringTag = 1
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r - step + p) % p
+		recvChunk := (r - step - 1 + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		s.Send(right, ringTag, data[slo:shi])
+		got := s.scratch[:rhi-rlo]
+		s.RecvInto(left, ringTag, got)
+		op.Combine(data[rlo:rhi], got)
+	}
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r + 1 - step + p*2) % p
+		recvChunk := (r - step + p*2) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		s.Send(right, ringTag+1, data[slo:shi])
+		got := s.scratch[:rhi-rlo]
+		s.RecvInto(left, ringTag+1, got)
+		copy(data[rlo:rhi], got)
+	}
 }
 
 // Bcast distributes root's buffer (group-local root) linearly; groups are

@@ -21,6 +21,7 @@ type Conv2D struct {
 	inShape               []int
 	outH, outW, batchSize int
 	ws                    *tensor.Workspace
+	stash                 []convStash // per-micro-batch cache stash (stash.go)
 }
 
 // SetWorkspace routes the im2col/col2im scratch through ws.
@@ -121,6 +122,7 @@ type MaxPool struct {
 	arg       []int // persistent argmax scratch, regrown only on batch-shape change
 	inShape   []int
 	ws        *tensor.Workspace
+	stash     []maxPoolStash // per-micro-batch cache stash (stash.go)
 }
 
 // NewMaxPool creates a pooling layer with window k and stride.
@@ -153,8 +155,9 @@ func (m *MaxPool) Params() []*Param { return nil }
 
 // GlobalAvgPool2D reduces (N,C,H,W) to (N,C).
 type GlobalAvgPool2D struct {
-	h, w int
-	ws   *tensor.Workspace
+	h, w  int
+	ws    *tensor.Workspace
+	stash [][2]int // per-micro-batch (h, w) stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.
@@ -191,6 +194,7 @@ type BatchNorm2D struct {
 	inShape      []int
 	countPerChan float64
 	ws           *tensor.Workspace
+	stash        []bnStash // per-micro-batch cache stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.

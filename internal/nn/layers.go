@@ -10,9 +10,10 @@ import (
 
 // Dense is a fully connected layer: y = xW + b for x of shape (N, in).
 type Dense struct {
-	W, B *Param
-	x    *tensor.Tensor // cached input
-	ws   *tensor.Workspace
+	W, B  *Param
+	x     *tensor.Tensor // cached input
+	ws    *tensor.Workspace
+	stash []*tensor.Tensor // per-micro-batch input stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.
@@ -56,8 +57,9 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
-	mask []bool
-	ws   *tensor.Workspace
+	mask  []bool
+	ws    *tensor.Workspace
+	stash [][]bool // per-micro-batch mask stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.
@@ -97,8 +99,9 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Sigmoid applies the logistic function elementwise.
 type Sigmoid struct {
-	out *tensor.Tensor
-	ws  *tensor.Workspace
+	out   *tensor.Tensor
+	ws    *tensor.Workspace
+	stash []*tensor.Tensor // per-micro-batch output stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.
@@ -124,8 +127,9 @@ func (s *Sigmoid) Params() []*Param { return nil }
 
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
-	out *tensor.Tensor
-	ws  *tensor.Workspace
+	out   *tensor.Tensor
+	ws    *tensor.Workspace
+	stash []*tensor.Tensor // per-micro-batch output stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.
@@ -153,10 +157,11 @@ func (t *Tanh) Params() []*Param { return nil }
 // rescales the survivors by 1/(1-Rate) (inverted dropout), matching the
 // Keras behaviour used by the paper's GRU model (dropout 0.2, §IV-B).
 type Dropout struct {
-	Rate float64
-	rng  *rand.Rand
-	mask []float64
-	ws   *tensor.Workspace
+	Rate  float64
+	rng   *rand.Rand
+	mask  []float64
+	ws    *tensor.Workspace
+	stash []dropoutStash // per-micro-batch mask stash (stash.go)
 }
 
 // SetWorkspace routes the layer's temporaries through ws.
@@ -213,6 +218,7 @@ func (d *Dropout) Params() []*Param { return nil }
 // Flatten reshapes (N, ...) to (N, prod(...)).
 type Flatten struct {
 	inShape []int
+	stash   [][]int // per-micro-batch shape stash (stash.go)
 }
 
 // Forward flattens all trailing axes.

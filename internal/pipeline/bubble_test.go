@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// measureBubble runs one pipeline step with schedule recording on and
+// returns the executed schedule's replayed bubble fraction (forward cost
+// 1, backward cost 2, the usual fwd:bwd ratio for dense stacks). The
+// result is deterministic: it depends only on the task order the engine
+// chose, not on host core count or scheduler noise (see sim.go).
+func measureBubble(t *testing.T, S, M int, sched Schedule) float64 {
+	t.Helper()
+	loss := nn.MSE{}
+	logs := make([][]TaskRecord, S)
+	w := mpi.NewWorld(S)
+	err := w.Run(func(c *mpi.Comm) error {
+		rng := rand.New(rand.NewSource(31))
+		m := nn.NewSequential()
+		m.Add(nn.NewDense(rng, "in", 8, 16))
+		for i := 0; i < 10; i++ {
+			m.Add(nn.NewDense(rng, nameOf(i), 16, 16))
+		}
+		m.Add(nn.NewDense(rng, "out", 16, 4))
+		st, err := New(c, m, loss, Config{MicroBatches: M, Schedule: sched, RecordSchedule: true})
+		if err != nil {
+			return err
+		}
+		x := tensor.Randn(rng, 1, M*2, 8)
+		y := tensor.Randn(rng, 1, M*2, 4)
+		m.ZeroGrads()
+		st.Step(x, y)
+		logs[c.Rank()] = st.TaskLog()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateBubble(logs, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func nameOf(i int) string { return "mid" + string(rune('a'+i)) }
+
+// TestOneFOneBBubbleLowerThanGPipe pins the schedule quality claim: at
+// equal micro-batch count, interleaved 1F1B (v=2 chunks per rank) shows a
+// strictly lower measured bubble fraction than GPipe. Analytically
+// (uniform chunks): GPipe B = (S−1)/(M+S−1), interleaved
+// ≈ (S−1)/(vM+S−1).
+func TestOneFOneBBubbleLowerThanGPipe(t *testing.T) {
+	const S, M = 3, 8
+	gpipe := measureBubble(t, S, M, GPipe)
+	onefb := measureBubble(t, S, M, OneFOneB)
+	t.Logf("schedule bubble: gpipe=%.3f 1f1b=%.3f (analytic %.3f vs %.3f)",
+		gpipe, onefb, 2.0/(M+2), 2.0/(2*M+2))
+	if !(onefb < gpipe) {
+		t.Fatalf("1F1B bubble %.3f not strictly below GPipe %.3f", onefb, gpipe)
+	}
+}
+
+// TestBubbleMatchesAnalyticModel checks GPipe's replayed bubble against
+// the closed form B = (S−1)/(M+S−1), which is exact for uniform chunk
+// costs and equal forward/backward weights.
+func TestBubbleMatchesAnalyticModel(t *testing.T) {
+	for _, tc := range []struct{ S, M int }{{2, 4}, {3, 6}, {4, 8}} {
+		logs := gpipeLogs(t, tc.S, tc.M)
+		got, err := SimulateBubble(logs, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(tc.S-1) / float64(tc.M+tc.S-1)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("S=%d M=%d: replayed bubble %.4f, analytic %.4f", tc.S, tc.M, got, want)
+		}
+	}
+}
+
+func gpipeLogs(t *testing.T, S, M int) [][]TaskRecord {
+	t.Helper()
+	loss := nn.MSE{}
+	logs := make([][]TaskRecord, S)
+	w := mpi.NewWorld(S)
+	err := w.Run(func(c *mpi.Comm) error {
+		rng := rand.New(rand.NewSource(13))
+		dims := make([]int, S+2)
+		for i := range dims {
+			dims[i] = 8
+		}
+		m := nn.MLP(rng, dims...) // 2(S+1)-1 layers ≥ S chunks
+		st, err := New(c, m, loss, Config{MicroBatches: M, Schedule: GPipe, RecordSchedule: true})
+		if err != nil {
+			return err
+		}
+		x := tensor.Randn(rng, 1, M, 8)
+		y := tensor.Randn(rng, 1, M, 8)
+		m.ZeroGrads()
+		st.Step(x, y)
+		logs[c.Rank()] = st.TaskLog()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logs
+}
+
+// TestBubbleShrinksWithMicroBatches pins the bubble model's M dependence:
+// more micro-batches amortize the fill/drain ramps under both schedules.
+func TestBubbleShrinksWithMicroBatches(t *testing.T) {
+	const S = 3
+	for _, sched := range []Schedule{GPipe, OneFOneB} {
+		few := measureBubble(t, S, 2, sched)
+		many := measureBubble(t, S, 16, sched)
+		t.Logf("%v bubble: M=2 %.3f, M=16 %.3f", sched, few, many)
+		if !(many < few) {
+			t.Errorf("%v bubble did not shrink with micro-batches: M=2 %.3f, M=16 %.3f", sched, few, many)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestPartitionContiguousAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.MLP(rng, 8, 16, 16, 16, 8) // 7 layers
+	for _, n := range []int{1, 2, 3, 6, 7} {
+		parts, err := Partition(model, n)
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("Partition(%d): got %d chunks", n, len(parts))
+		}
+		total := 0
+		for _, p := range parts {
+			if len(p.Layers) == 0 {
+				t.Fatalf("Partition(%d): empty chunk", n)
+			}
+			total += len(p.Layers)
+		}
+		if total != len(model.Layers) {
+			t.Fatalf("Partition(%d): covers %d of %d layers", n, total, len(model.Layers))
+		}
+		// Contiguity: chunks alias the model's layers in order.
+		i := 0
+		for _, p := range parts {
+			for _, l := range p.Layers {
+				if l != model.Layers[i] {
+					t.Fatalf("Partition(%d): chunk layers out of order at %d", n, i)
+				}
+				i++
+			}
+		}
+	}
+	if _, err := Partition(model, len(model.Layers)+1); err == nil {
+		t.Fatal("Partition with more chunks than layers should fail")
+	}
+	if _, err := Partition(nn.GRUImputer(rng, 3), 2); err == nil {
+		t.Fatal("Partition of a recurrent model should fail (no stash support)")
+	}
+}
+
+func TestPartitionBalancesParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// One huge layer among small ones: it must sit alone in its chunk.
+	model := nn.NewSequential(
+		nn.NewDense(rng, "small1", 4, 4),
+		nn.NewDense(rng, "huge", 4, 512),
+		nn.NewDense(rng, "small2", 512, 2),
+	)
+	parts, err := Partition(model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best split: {small1, huge} vs {small2}? No: huge ≈ 4·512, small2 ≈
+	// 512·2+2. Balanced max cost wants {small1} | {huge, small2}? Compare:
+	// split after layer 1: max(20, 2048+512+1026) vs after layer 2:
+	// max(20+2560, 1026). The DP picks the smaller max.
+	c0, c1 := 0.0, 0.0
+	for _, l := range parts[0].Layers {
+		c0 += 1 + float64(nn.NumParams(l.Params()))
+	}
+	for _, l := range parts[1].Layers {
+		c1 += 1 + float64(nn.NumParams(l.Params()))
+	}
+	gotMax := c0
+	if c1 > gotMax {
+		gotMax = c1
+	}
+	// Brute force the optimum.
+	costs := make([]float64, len(model.Layers))
+	for i, l := range model.Layers {
+		costs[i] = 1 + float64(nn.NumParams(l.Params()))
+	}
+	best := 1e308
+	for cutAt := 1; cutAt < len(costs); cutAt++ {
+		a, b := 0.0, 0.0
+		for i, c := range costs {
+			if i < cutAt {
+				a += c
+			} else {
+				b += c
+			}
+		}
+		m := a
+		if b > m {
+			m = b
+		}
+		if m < best {
+			best = m
+		}
+	}
+	if gotMax != best {
+		t.Fatalf("partition max cost %v, optimum %v", gotMax, best)
+	}
+}
+
+// microRef runs the single-rank micro-batched gradient-accumulation
+// reference: the exact operation sequence a pipeline distributes, so the
+// distributed gradients must match it bitwise.
+func microRef(model *nn.Sequential, loss nn.Loss, x, y *tensor.Tensor, M int) float64 {
+	n := x.Dim(0)
+	base, rem := n/M, n%M
+	rowsX := x.Size() / n
+	rowsY := y.Size() / n
+	total := 0.0
+	offX, offY := 0, 0
+	for m := 0; m < M; m++ {
+		rows := base
+		if m < rem {
+			rows++
+		}
+		shapeX := append([]int(nil), x.Shape()...)
+		shapeX[0] = rows
+		xm := tensor.New(shapeX...)
+		copy(xm.Data(), x.Data()[offX:offX+rows*rowsX])
+		offX += rows * rowsX
+		shapeY := append([]int(nil), y.Shape()...)
+		shapeY[0] = rows
+		ym := tensor.New(shapeY...)
+		copy(ym.Data(), y.Data()[offY:offY+rows*rowsY])
+		offY += rows * rowsY
+
+		out := model.Forward(xm, true)
+		w := float64(rows) / float64(n)
+		l, g := loss.Forward(out, ym)
+		g.Scale(w)
+		model.Backward(g)
+		total += l * w
+	}
+	return total
+}
+
+func buildPipeModel(seed int64) *nn.Sequential {
+	return nn.MLP(rand.New(rand.NewSource(seed)), 12, 24, 20, 16, 5)
+}
+
+func pipeBatch(seed int64, rows int) (*tensor.Tensor, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.Randn(rng, 1, rows, 12)
+	y := tensor.New(rows, 5)
+	for r := 0; r < rows; r++ {
+		y.Data()[r*5+rng.Intn(5)] = 1
+	}
+	return x, y
+}
+
+// runEquivalence trains steps steps on S pipeline ranks under sched and
+// checks gradients, parameter values, and losses against the single-rank
+// micro-accumulation reference, bitwise.
+func runEquivalence(t *testing.T, S, M, steps int, sched Schedule, virtual int) {
+	t.Helper()
+	const rows = 13 // deliberately not divisible by M: uneven micros
+	loss := nn.SoftmaxCrossEntropy{}
+
+	// Reference: same model seed, same micro split, full model on one rank.
+	ref := buildPipeModel(42)
+	refOpt := nn.NewSGD(0.9, 0)
+	refLosses := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		x, y := pipeBatch(int64(100+s), rows)
+		ref.ZeroGrads()
+		refLosses[s] = microRef(ref, loss, x, y, M)
+		refOpt.Step(ref.Params(), 0.05)
+	}
+
+	w := mpi.NewWorld(S)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildPipeModel(42)
+		st, err := New(c, model, loss, Config{
+			MicroBatches: M, Schedule: sched, VirtualChunks: virtual,
+		})
+		if err != nil {
+			return err
+		}
+		opt := nn.NewSGD(0.9, 0)
+		for s := 0; s < steps; s++ {
+			x, y := pipeBatch(int64(100+s), rows)
+			model.ZeroGrads()
+			got := st.Step(x, y)
+			if got != refLosses[s] {
+				return fmt.Errorf("rank %d step %d: loss %v, reference %v", c.Rank(), s, got, refLosses[s])
+			}
+			for _, ci := range st.LocalChunks() {
+				opt.Step(st.ChunkParams(ci), 0.05)
+			}
+		}
+		// Local chunks must match the reference bitwise: gradients of the
+		// last step and parameter values after all updates.
+		refParams := ref.Params()
+		gotParams := model.Params()
+		if len(refParams) != len(gotParams) {
+			return fmt.Errorf("param count %d vs %d", len(gotParams), len(refParams))
+		}
+		owned := map[*nn.Param]bool{}
+		for _, ci := range st.LocalChunks() {
+			for _, p := range st.ChunkParams(ci) {
+				owned[p] = true
+			}
+		}
+		for i, p := range gotParams {
+			if !owned[p] {
+				continue
+			}
+			rp := refParams[i]
+			for j := range p.Grad.Data() {
+				if p.Grad.Data()[j] != rp.Grad.Data()[j] {
+					return fmt.Errorf("rank %d: %s grad[%d] %v vs ref %v", c.Rank(), p.Name, j, p.Grad.Data()[j], rp.Grad.Data()[j])
+				}
+			}
+			for j := range p.Value.Data() {
+				if p.Value.Data()[j] != rp.Value.Data()[j] {
+					return fmt.Errorf("rank %d: %s value[%d] %v vs ref %v", c.Rank(), p.Name, j, p.Value.Data()[j], rp.Value.Data()[j])
+				}
+			}
+		}
+		// After SyncFullModel every rank holds the full reference model.
+		st.SyncFullModel()
+		for i, p := range gotParams {
+			rp := refParams[i]
+			for j := range p.Value.Data() {
+				if p.Value.Data()[j] != rp.Value.Data()[j] {
+					return fmt.Errorf("rank %d after sync: %s value[%d] mismatch", c.Rank(), p.Name, j)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPipeMatchesSingleRank(t *testing.T)          { runEquivalence(t, 3, 4, 3, GPipe, 0) }
+func TestGPipeFourStages(t *testing.T)                 { runEquivalence(t, 4, 6, 2, GPipe, 0) }
+func TestOneFOneBMatchesSingleRank(t *testing.T)       { runEquivalence(t, 3, 4, 3, OneFOneB, 0) }
+func TestOneFOneBVirtual1MatchesGPipeRef(t *testing.T) { runEquivalence(t, 3, 5, 2, OneFOneB, 1) }
+func TestTwoStagePipeline(t *testing.T)                { runEquivalence(t, 2, 4, 2, GPipe, 0) }
+func TestSingleRankPipelineLocalHandoff(t *testing.T) {
+	// S=1 exercises the local chunk-to-chunk handoff path (no messages).
+	runEquivalence(t, 1, 4, 2, OneFOneB, 3)
+}
+
+// TestConvPipelineEquivalence runs the conv/bn/residual stack through a
+// 3-stage pipeline: running statistics and im2col caches must stash and
+// restore per micro-batch exactly.
+func TestConvPipelineEquivalence(t *testing.T) {
+	const S, M, rows = 3, 4, 8
+	loss := nn.SoftmaxCrossEntropy{}
+	build := func() *nn.Sequential { return nn.ResNetMini(rand.New(rand.NewSource(9)), 2, 4, 4, 2) }
+	batch := func() (*tensor.Tensor, *tensor.Tensor) {
+		rng := rand.New(rand.NewSource(77))
+		x := tensor.Randn(rng, 1, rows, 2, 8, 8)
+		y := tensor.New(rows, 4)
+		for r := 0; r < rows; r++ {
+			y.Data()[r*4+rng.Intn(4)] = 1
+		}
+		return x, y
+	}
+
+	ref := build()
+	x, y := batch()
+	refLoss := microRef(ref, loss, x, y, M)
+	refParams := ref.Params()
+
+	w := mpi.NewWorld(S)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := build()
+		st, err := New(c, model, loss, Config{MicroBatches: M, Schedule: OneFOneB})
+		if err != nil {
+			return err
+		}
+		x, y := batch()
+		model.ZeroGrads()
+		if got := st.Step(x, y); got != refLoss {
+			return fmt.Errorf("rank %d: loss %v vs ref %v", c.Rank(), got, refLoss)
+		}
+		gotParams := model.Params()
+		for _, ci := range st.LocalChunks() {
+			for _, p := range st.ChunkParams(ci) {
+				for i, rp := range refParams {
+					if gotParams[i] != p {
+						continue
+					}
+					for j := range p.Grad.Data() {
+						if p.Grad.Data()[j] != rp.Grad.Data()[j] {
+							return fmt.Errorf("rank %d: %s grad[%d] differs", c.Rank(), p.Name, j)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineStepPoolSteadyState extends the PR 5 alloc gates to
+// pipeline steps: after warmup, further steps cause no workspace pool
+// misses on any stage — micro splitting, activation receive, stash
+// rotation, and loss scratch all run from recycled storage.
+func TestPipelineStepPoolSteadyState(t *testing.T) {
+	const S, M, rows, warm, measured = 3, 4, 12, 3, 4
+	loss := nn.SoftmaxCrossEntropy{}
+	w := mpi.NewWorld(S)
+	err := w.Run(func(c *mpi.Comm) error {
+		model := buildPipeModel(5)
+		st, err := New(c, model, loss, Config{MicroBatches: M, Schedule: OneFOneB})
+		if err != nil {
+			return err
+		}
+		x, y := pipeBatch(3, rows)
+		for s := 0; s < warm; s++ {
+			model.ZeroGrads()
+			st.Step(x, y)
+		}
+		baseline := st.Workspace().Allocs()
+		for s := 0; s < measured; s++ {
+			model.ZeroGrads()
+			st.Step(x, y)
+		}
+		if got := st.Workspace().Allocs(); got != baseline {
+			return fmt.Errorf("rank %d: pool misses grew %d -> %d across steady-state pipeline steps", c.Rank(), baseline, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

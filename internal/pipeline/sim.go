@@ -1,0 +1,308 @@
+package pipeline
+
+import "fmt"
+
+// Schedule-replay bubble measurement. Wall-clock occupancy (BubbleFraction)
+// is only meaningful when every stage owns a core; on oversubscribed hosts
+// (CI containers, laptops running S ranks as goroutines) the ranks
+// timeshare and the wall clock measures the Go scheduler, not the
+// pipeline. The replay below instead evaluates the schedule the engine
+// *actually executed*: Step records the per-rank task order, and
+// SimulateBubble replays that order on an ideal machine (one core per
+// stage, zero message latency, fixed forward/backward costs), yielding a
+// deterministic bubble fraction that depends only on schedule structure —
+// exactly the quantity the analytic model B = (S−1)/(M+S−1) describes.
+
+// TaskRecord is one executed compute task in a stage's step log.
+type TaskRecord struct {
+	Kind  int // kindF or kindB
+	Chunk int
+	Micro int
+}
+
+// PlanSchedule list-schedules all 2·S·v·M pipeline tasks on an ideal
+// machine (one core per rank, zero message latency, forward cost tf,
+// backward cost tb) under the given schedule policy and returns each
+// rank's task order. The engine executes this plan verbatim: a reactive
+// greedy picker would instead bake host-scheduler noise into the executed
+// order (on an oversubscribed machine "ready" reflects goroutine timing,
+// not pipeline structure), and the interleaved 1F1B bubble advantage only
+// materializes when deep-chunk forwards run at their planned slots.
+//
+// The plan is work-conserving: each round commits the globally earliest
+// startable task, so a rank never idles while it has a ready task. Within
+// a rank, ties between a ready forward and a ready backward go to the
+// schedule policy — GPipe holds every backward until all local forwards
+// have run (fill-drain), 1F1B alternates kinds and bounds each chunk's
+// forward run-ahead at C−c. Forward candidates follow the interleaved
+// fill order (micro-group-major, shallow chunk first); backward
+// candidates drain earliest-micro, deepest-chunk first. Per chunk, both
+// streams stay in strict micro order, which is what keeps pipeline
+// gradient accumulation bitwise equal to the single-rank reference.
+func PlanSchedule(S, v, M int, sched Schedule, tf, tb float64) [][]TaskRecord {
+	C := S * v
+	type key struct{ kind, chunk, micro int }
+	end := make(map[key]float64, 2*C*M)
+	fwdDone := make([]int, C)
+	bwdDone := make([]int, C)
+	clock := make([]float64, S)
+	lastKind := make([]int, S)
+	for r := range lastKind {
+		lastKind[r] = kindB
+	}
+	orders := make([][]TaskRecord, S)
+
+	// readyAt returns the earliest ideal-machine start for a rank's
+	// candidate task, or false while a producer task is still unplanned.
+	readyAt := func(r, kind, c int) (float64, bool) {
+		t := clock[r]
+		if kind == kindF {
+			m := fwdDone[c]
+			if c > 0 {
+				e, have := end[key{kindF, c - 1, m}]
+				if !have {
+					return 0, false
+				}
+				if e > t {
+					t = e
+				}
+			}
+			return t, true
+		}
+		m := bwdDone[c]
+		e, have := end[key{kindF, c, m}]
+		if !have {
+			return 0, false
+		}
+		if e > t {
+			t = e
+		}
+		if c < C-1 {
+			e, have = end[key{kindB, c + 1, m}]
+			if !have {
+				return 0, false
+			}
+			if e > t {
+				t = e
+			}
+		}
+		return t, true
+	}
+
+	type cand struct {
+		kind, chunk int
+		start       float64
+	}
+	var cands []cand
+	collect := func(r int) (float64, bool) {
+		cands = cands[:0]
+		allFwd := true
+		for c := r; c < C; c += S {
+			if fwdDone[c] < M {
+				allFwd = false
+			}
+		}
+		best, any := 0.0, false
+		for c := r; c < C; c += S {
+			if fwdDone[c] < M {
+				if sched != OneFOneB || fwdDone[c]-bwdDone[c] < C-c {
+					if t, ok := readyAt(r, kindF, c); ok {
+						cands = append(cands, cand{kindF, c, t})
+						if !any || t < best {
+							best, any = t, true
+						}
+					}
+				}
+			}
+			if bwdDone[c] < M && (sched == OneFOneB || allFwd) {
+				if t, ok := readyAt(r, kindB, c); ok {
+					cands = append(cands, cand{kindB, c, t})
+					if !any || t < best {
+						best, any = t, true
+					}
+				}
+			}
+		}
+		return best, any
+	}
+
+	remaining := 2 * C * M
+	for remaining > 0 {
+		bestR, bestT := -1, 0.0
+		for r := 0; r < S; r++ {
+			if t, ok := collect(r); ok && (bestR < 0 || t < bestT) {
+				bestR, bestT = r, t
+			}
+		}
+		if bestR < 0 {
+			panic("pipeline: schedule planner stuck (dependency cycle)")
+		}
+		collect(bestR)
+		chosen := -1
+		fBest, bBest := -1, -1
+		for i, cd := range cands {
+			if cd.start > bestT {
+				continue
+			}
+			if cd.kind == kindF {
+				if fBest < 0 || fwdKeyLess(fwdDone, cd.chunk, cands[fBest].chunk, S) {
+					fBest = i
+				}
+			} else {
+				if bBest < 0 || bwdDone[cd.chunk] < bwdDone[cands[bBest].chunk] ||
+					(bwdDone[cd.chunk] == bwdDone[cands[bBest].chunk] && cd.chunk > cands[bBest].chunk) {
+					bBest = i
+				}
+			}
+		}
+		switch {
+		case fBest >= 0 && bBest < 0:
+			chosen = fBest
+		case bBest >= 0 && fBest < 0:
+			chosen = bBest
+		case sched == GPipe:
+			chosen = fBest
+		case lastKind[bestR] == kindF:
+			chosen = bBest
+		default:
+			chosen = fBest
+		}
+		cd := cands[chosen]
+		cost := tf
+		m := fwdDone[cd.chunk]
+		if cd.kind == kindB {
+			cost = tb
+			m = bwdDone[cd.chunk]
+		}
+		clock[bestR] = bestT + cost
+		end[key{cd.kind, cd.chunk, m}] = clock[bestR]
+		if cd.kind == kindF {
+			fwdDone[cd.chunk]++
+		} else {
+			bwdDone[cd.chunk]++
+		}
+		lastKind[bestR] = cd.kind
+		orders[bestR] = append(orders[bestR], TaskRecord{Kind: cd.kind, Chunk: cd.chunk, Micro: m})
+		remaining--
+	}
+	return orders
+}
+
+// PlannedBubble returns the bubble fraction of the schedule a Stage with
+// these parameters executes: the engine runs PlanSchedule's task order
+// verbatim, so replaying the plan is replaying the execution. Forward
+// tasks cost tf, backwards tb (use 1 and 2 for the dense-stack ratio).
+func PlannedBubble(S, v, M int, sched Schedule, tf, tb float64) float64 {
+	if v == 0 {
+		if sched == OneFOneB {
+			v = 2
+		} else {
+			v = 1
+		}
+	}
+	b, err := SimulateBubble(PlanSchedule(S, v, M, sched, tf, tb), tf, tb)
+	if err != nil {
+		panic(err) // planner output is always consistent
+	}
+	return b
+}
+
+// fwdKeyLess orders forward candidates by interleaved fill position:
+// micro-group (micro / S) major, shallower chunk on ties.
+func fwdKeyLess(fwdDone []int, a, b, S int) bool {
+	ga, gb := fwdDone[a]/S, fwdDone[b]/S
+	if ga != gb {
+		return ga < gb
+	}
+	return a < b
+}
+
+// TaskLog returns the last step's executed task sequence for this rank.
+// Recording must be enabled via Config.RecordSchedule.
+func (st *Stage) TaskLog() []TaskRecord {
+	return append([]TaskRecord(nil), st.taskLog...)
+}
+
+// SimulateBubble replays per-rank executed task logs (index = rank) on an
+// ideal parallel machine where every forward costs tf, every backward tb,
+// and messages are free, and returns the resulting bubble fraction
+// 1 − Σ busy / (S · makespan). Dependencies: a rank runs its log in
+// order; forward (c, m) additionally waits for forward (c−1, m); backward
+// (c, m) waits for forward (c, m) and, below the last chunk, backward
+// (c+1, m). An error is returned if the logs are not a consistent
+// pipeline execution (missing producer tasks).
+func SimulateBubble(logs [][]TaskRecord, tf, tb float64) (float64, error) {
+	S := len(logs)
+	total := 0
+	maxChunk := 0
+	for _, l := range logs {
+		total += len(l)
+		for _, t := range l {
+			if t.Chunk > maxChunk {
+				maxChunk = t.Chunk
+			}
+		}
+	}
+	type key struct{ kind, chunk, micro int }
+	end := make(map[key]float64, total)
+	next := make([]int, S)
+	clock := make([]float64, S)
+	busy := make([]float64, S)
+	done := 0
+	for done < total {
+		progressed := false
+		for r := 0; r < S; r++ {
+			for next[r] < len(logs[r]) {
+				t := logs[r][next[r]]
+				start := clock[r]
+				ok := true
+				dep := func(k key) {
+					e, have := end[k]
+					if !have {
+						ok = false
+						return
+					}
+					if e > start {
+						start = e
+					}
+				}
+				if t.Kind == kindF && t.Chunk > 0 {
+					dep(key{kindF, t.Chunk - 1, t.Micro})
+				}
+				if t.Kind == kindB {
+					dep(key{kindF, t.Chunk, t.Micro})
+					if t.Chunk < maxChunk {
+						dep(key{kindB, t.Chunk + 1, t.Micro})
+					}
+				}
+				if !ok {
+					break
+				}
+				cost := tf
+				if t.Kind == kindB {
+					cost = tb
+				}
+				clock[r] = start + cost
+				busy[r] += cost
+				end[key{t.Kind, t.Chunk, t.Micro}] = clock[r]
+				next[r]++
+				done++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return 0, fmt.Errorf("pipeline: task logs are not a consistent execution (stuck at %d/%d tasks)", done, total)
+		}
+	}
+	makespan, busyTotal := 0.0, 0.0
+	for r := 0; r < S; r++ {
+		busyTotal += busy[r]
+		if clock[r] > makespan {
+			makespan = clock[r]
+		}
+	}
+	if makespan == 0 {
+		return 0, fmt.Errorf("pipeline: empty task logs")
+	}
+	return 1 - busyTotal/(float64(S)*makespan), nil
+}
