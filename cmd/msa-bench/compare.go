@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CI perf-regression gate: compare two benchReport JSON files (the
+// committed BENCH_<date>.json baseline vs a fresh -suite run) and fail
+// when any workload regressed beyond tolerance. Throughput and allocs
+// compare relatively (hosts jitter), fractions compare absolutely
+// (they are host-independent ratios). Only the bad direction fails:
+// faster, less comm, smaller bubble, more overlap, fewer allocs pass.
+
+type compareOpts struct {
+	// tolThroughput is the allowed relative throughput drop: new <
+	// old*(1-tolThroughput) fails. CI hosts differ wildly, so the CI
+	// gate runs with a generous value; local runs can tighten it.
+	tolThroughput float64
+	// tolFraction is the allowed absolute worsening of comm_fraction,
+	// bubble_fraction, and overlap_ratio.
+	tolFraction float64
+	// tolAllocs is the allowed relative allocs/op growth, with
+	// allocSlack absolute allocations of headroom for tiny baselines.
+	tolAllocs  float64
+	allocSlack float64
+}
+
+func defaultCompareOpts() compareOpts {
+	return compareOpts{tolThroughput: 0.30, tolFraction: 0.10, tolAllocs: 0.15, allocSlack: 16}
+}
+
+func writeReport(path string, rep *benchReport) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+func loadReport(path string) (*benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports prints an old/new/delta table to w and returns the
+// number of regressions. A workload or alloc gate present in the
+// baseline but missing from the new report counts as a regression
+// (silently dropping a benchmark is how gates rot); new entries absent
+// from the baseline are informational only.
+func compareReports(oldRep, newRep *benchReport, opts compareOpts, w io.Writer) int {
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(w, "  FAIL "+format+"\n", args...)
+	}
+
+	newWL := map[string]benchWorkload{}
+	for _, wl := range newRep.Workloads {
+		newWL[wl.Name] = wl
+	}
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s)\n", oldRep.Date, oldRep.GOARCH, newRep.Date, newRep.GOARCH)
+	fmt.Fprintf(w, "%-22s %-12s %10s %10s %8s\n", "workload", "metric", "old", "new", "delta")
+	row := func(name, metric string, old, new float64) {
+		fmt.Fprintf(w, "%-22s %-12s %10.3f %10.3f %+8.3f\n", name, metric, old, new, new-old)
+	}
+	for _, old := range oldRep.Workloads {
+		cur, ok := newWL[old.Name]
+		if !ok {
+			fail("workload %q missing from new report", old.Name)
+			continue
+		}
+		row(old.Name, "samples/s", old.Throughput, cur.Throughput)
+		if old.Throughput > 0 && cur.Throughput < old.Throughput*(1-opts.tolThroughput) {
+			fail("%s: throughput %.1f -> %.1f (allowed drop %.0f%%)",
+				old.Name, old.Throughput, cur.Throughput, opts.tolThroughput*100)
+		}
+		row(old.Name, "comm", old.CommFraction, cur.CommFraction)
+		if cur.CommFraction > old.CommFraction+opts.tolFraction {
+			fail("%s: comm_fraction %.3f -> %.3f (tolerance %.3f)",
+				old.Name, old.CommFraction, cur.CommFraction, opts.tolFraction)
+		}
+		if old.Bubble > 0 || cur.Bubble > 0 {
+			row(old.Name, "bubble", old.Bubble, cur.Bubble)
+			if cur.Bubble > old.Bubble+opts.tolFraction {
+				fail("%s: bubble_fraction %.3f -> %.3f (tolerance %.3f)",
+					old.Name, old.Bubble, cur.Bubble, opts.tolFraction)
+			}
+		}
+		if old.OverlapRatio > 0 {
+			row(old.Name, "overlap", old.OverlapRatio, cur.OverlapRatio)
+			if cur.OverlapRatio < old.OverlapRatio-opts.tolFraction {
+				fail("%s: overlap_ratio %.3f -> %.3f (tolerance %.3f)",
+					old.Name, old.OverlapRatio, cur.OverlapRatio, opts.tolFraction)
+			}
+		}
+	}
+
+	newAG := map[string]benchAllocGate{}
+	for _, g := range newRep.AllocGates {
+		newAG[g.Name] = g
+	}
+	for _, old := range oldRep.AllocGates {
+		cur, ok := newAG[old.Name]
+		if !ok {
+			fail("alloc gate %q missing from new report", old.Name)
+			continue
+		}
+		row(old.Name, "allocs/op", old.AllocsPerOp, cur.AllocsPerOp)
+		if cur.AllocsPerOp > old.AllocsPerOp*(1+opts.tolAllocs)+opts.allocSlack {
+			fail("%s: allocs/op %.1f -> %.1f (tolerance %.0f%% + %.0f)",
+				old.Name, old.AllocsPerOp, cur.AllocsPerOp, opts.tolAllocs*100, opts.allocSlack)
+		}
+	}
+
+	if failures == 0 {
+		fmt.Fprintf(w, "PASS: no regressions beyond tolerance\n")
+	} else {
+		fmt.Fprintf(w, "%d regression(s) beyond tolerance\n", failures)
+	}
+	return failures
+}
+
+// runCompare is the -compare entry point.
+func runCompare(baselinePath, newPath string, opts compareOpts) error {
+	oldRep, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if n := compareReports(oldRep, newRep, opts, os.Stdout); n > 0 {
+		return fmt.Errorf("%d perf regression(s) vs %s", n, baselinePath)
+	}
+	return nil
+}

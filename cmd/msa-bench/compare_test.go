@@ -1,0 +1,127 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// latestBaseline returns the newest committed BENCH_<date>.json at the
+// repo root (the date is lexicographic, so sorting the names suffices).
+func latestBaseline(t *testing.T) string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed BENCH_*.json baseline found: %v", err)
+	}
+	sort.Strings(paths)
+	return paths[len(paths)-1]
+}
+
+// The committed baseline compared against itself must pass: zero deltas
+// are within every tolerance.
+func TestCompareSelfPasses(t *testing.T) {
+	rep, err := loadReport(latestBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) == 0 || len(rep.AllocGates) == 0 {
+		t.Fatalf("baseline is empty: %d workloads, %d alloc gates", len(rep.Workloads), len(rep.AllocGates))
+	}
+	if n := compareReports(rep, rep, defaultCompareOpts(), io.Discard); n != 0 {
+		t.Fatalf("self-compare reported %d regressions", n)
+	}
+}
+
+// Injected regressions beyond tolerance must each be caught, and
+// improvements in the same metrics must not be.
+func TestCompareCatchesInjectedRegressions(t *testing.T) {
+	base, err := loadReport(latestBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultCompareOpts()
+	mutate := func(fn func(r *benchReport)) *benchReport {
+		cp := *base
+		cp.Workloads = append([]benchWorkload(nil), base.Workloads...)
+		cp.AllocGates = append([]benchAllocGate(nil), base.AllocGates...)
+		fn(&cp)
+		return &cp
+	}
+
+	cases := []struct {
+		name string
+		mut  func(r *benchReport)
+		want int
+	}{
+		{"throughput drop", func(r *benchReport) {
+			r.Workloads[0].Throughput *= 1 - opts.tolThroughput - 0.05
+		}, 1},
+		{"throughput gain ok", func(r *benchReport) {
+			r.Workloads[0].Throughput *= 3
+		}, 0},
+		{"comm fraction up", func(r *benchReport) {
+			r.Workloads[0].CommFraction += opts.tolFraction + 0.01
+		}, 1},
+		{"allocs up", func(r *benchReport) {
+			r.AllocGates[0].AllocsPerOp = r.AllocGates[0].AllocsPerOp*(1+opts.tolAllocs) + opts.allocSlack + 1
+		}, 1},
+		{"allocs down ok", func(r *benchReport) {
+			r.AllocGates[0].AllocsPerOp = 0
+		}, 0},
+		{"workload dropped", func(r *benchReport) {
+			r.Workloads = r.Workloads[1:]
+		}, 1},
+		{"two regressions", func(r *benchReport) {
+			r.Workloads[0].Throughput = 0.001
+			r.Workloads[1].CommFraction = 1
+		}, 2},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		got := compareReports(base, mutate(tc.mut), opts, &b)
+		if got != tc.want {
+			t.Fatalf("%s: %d regressions, want %d\n%s", tc.name, got, tc.want, b.String())
+		}
+		if tc.want > 0 && !strings.Contains(b.String(), "FAIL") {
+			t.Fatalf("%s: regression output has no FAIL line:\n%s", tc.name, b.String())
+		}
+	}
+}
+
+// runCompare must return an error (the CLI exits nonzero) on regression
+// and nil on the baseline self-compare.
+func TestRunCompareExitContract(t *testing.T) {
+	baseline := latestBaseline(t)
+	// Self-compare: stdout table is noise for the test log, silence it.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	selfErr := runCompare(baseline, baseline, defaultCompareOpts())
+
+	base, err := loadReport(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Workloads[0].Throughput = 0.001
+	blob := filepath.Join(t.TempDir(), "regressed.json")
+	if err := writeReport(blob, base); err != nil {
+		t.Fatal(err)
+	}
+	regErr := runCompare(baseline, blob, defaultCompareOpts())
+	os.Stdout = old
+	null.Close()
+
+	if selfErr != nil {
+		t.Fatalf("self-compare failed: %v", selfErr)
+	}
+	if regErr == nil {
+		t.Fatal("regressed report passed the gate")
+	}
+}

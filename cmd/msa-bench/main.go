@@ -10,6 +10,7 @@
 //	msa-bench -scale full     # paper-scale parameters (slower)
 //	msa-bench -metrics        # also dump machine-readable metrics
 //	msa-bench -suite -out BENCH_2026-08-07.json   # standing perf suite
+//	msa-bench -compare BENCH_old.json BENCH_new.json   # CI regression gate
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,7 +31,40 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	suite := flag.Bool("suite", false, "run the standing benchmark suite and write a JSON report")
 	out := flag.String("out", "", "output path for -suite (default BENCH_<date>.json)")
+	compare := flag.Bool("compare", false, "compare two -suite reports: msa-bench -compare <baseline.json> <new.json>; exits 1 on regression")
+	defTol := defaultCompareOpts()
+	tolThroughput := flag.Float64("tol-throughput", defTol.tolThroughput, "allowed relative throughput drop for -compare")
+	tolFraction := flag.Float64("tol-fraction", defTol.tolFraction, "allowed absolute comm/bubble/overlap worsening for -compare")
+	tolAllocs := flag.Float64("tol-allocs", defTol.tolAllocs, "allowed relative allocs/op growth for -compare")
+	allocSlack := flag.Float64("alloc-slack", defTol.allocSlack, "absolute allocs/op headroom for -compare")
+	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /debug/pprof) at host:port while running")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "msa-bench: -compare needs exactly two report paths: <baseline.json> <new.json>")
+			os.Exit(2)
+		}
+		opts := compareOpts{
+			tolThroughput: *tolThroughput, tolFraction: *tolFraction,
+			tolAllocs: *tolAllocs, allocSlack: *allocSlack,
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), opts); err != nil {
+			fmt.Fprintf(os.Stderr, "msa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveAddr != "" {
+		srv, err := telemetry.Serve(*serveAddr, telemetry.ServeConfig{Registry: telemetry.NewRegistry()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint at http://%s\n", srv.Addr)
+	}
 
 	if *suite {
 		path := *out

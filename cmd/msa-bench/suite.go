@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"runtime"
 	"time"
 
@@ -133,12 +131,7 @@ func runSuite(path string) error {
 		fmt.Printf("  %-22s %7.1f allocs/op\n", g.Name, g.AllocsPerOp)
 	}
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(path, blob, 0o644); err != nil {
+	if err := writeReport(path, &rep); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

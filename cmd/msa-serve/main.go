@@ -32,6 +32,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -50,9 +51,22 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Second, "per-request deadline")
 	slowmo := flag.Float64("slowmo", 50, "slow-motion factor: modeled service times are multiplied by this so the laptop-scale real forward pass is negligible next to them; ratios between cells are unaffected")
 	seed := flag.Int64("seed", 1, "global seed")
+	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /debug/pprof /healthz) at host:port during the sweep")
 	flag.Parse()
 	if *slowmo <= 0 {
 		fatal(fmt.Errorf("-slowmo must be > 0 (got %g)", *slowmo))
+	}
+
+	var obsReg *telemetry.Registry
+	if *serveAddr != "" {
+		obsReg = telemetry.NewRegistry()
+		telemetry.RegisterMemMetrics(obsReg)
+		obs, err := telemetry.Serve(*serveAddr, telemetry.ServeConfig{Registry: obsReg})
+		if err != nil {
+			fatal(err)
+		}
+		defer obs.Close()
+		fmt.Printf("observability endpoint at http://%s\n", obs.Addr)
 	}
 
 	// --- 1. Warm-up: restore the model from a checkpoint, training one
@@ -137,6 +151,12 @@ func main() {
 				return serve.NewModelBackend(m, nn.ActSigmoid)
 			})
 			srv := serve.New(backends, cfg)
+			if obsReg != nil {
+				// Create-or-get registry semantics: each sweep cell rebinds
+				// the callback-backed series to the live server, so a scrape
+				// always reads the tier currently under load.
+				srv.RegisterMetrics(obsReg)
+			}
 			rep := serve.RunClosedLoop(srv, serve.LoadConfig{Clients: *clients, Duration: *duration, ShedBackoff: 20 * time.Millisecond},
 				func(c, i int) *tensor.Tensor { return sampleRow(ds.X, (c+i*7)%ds.X.Dim(0)) })
 			snap := srv.Snapshot()

@@ -22,6 +22,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/mpi"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	out := flag.String("out", "trace.json", "Chrome trace-event JSON output path")
 	metricsOut := flag.String("metrics", "metrics.txt", "Prometheus text dump output path")
+	breakdownOut := flag.String("breakdown", "", "causal critical-path breakdown JSON output path (empty = skip)")
 	topK := flag.Int("top", 5, "top categories to show in the summary")
 	flag.Parse()
 
@@ -93,6 +95,20 @@ func main() {
 		fail("closing %s: %v", *out, err)
 	}
 
+	// The causal report feeds both outputs: its msa_criticalpath_* gauges
+	// must land in the registry before the Prometheus dump below.
+	rep := causal.Analyze(tracer.Spans())
+	causal.PublishMetrics(reg, rep)
+	if *breakdownOut != "" {
+		blob, err := rep.JSON()
+		if err != nil {
+			fail("rendering breakdown: %v", err)
+		}
+		if err := os.WriteFile(*breakdownOut, blob, 0o644); err != nil {
+			fail("writing %s: %v", *breakdownOut, err)
+		}
+	}
+
 	mf, err := os.Create(*metricsOut)
 	if err != nil {
 		fail("creating %s: %v", *metricsOut, err)
@@ -115,7 +131,27 @@ func main() {
 	for _, c := range sum.TopCategories(*topK) {
 		fmt.Printf("  %-12s %10d spans  %12.3fms total\n", c.Cat, c.Count, float64(c.Total)/1e6)
 	}
+	if len(rep.Steps) > 0 {
+		sb := rep.Steps[len(rep.Steps)-1]
+		fmt.Printf("\ncausal attribution (last of %d step windows): compute %.3f  exposed-comm %.3f  bubble %.3f  straggler %.3f\n",
+			len(rep.Steps), sb.ComputeFraction, sb.CommFraction, sb.BubbleFraction, sb.StragglerFraction)
+		fmt.Printf("critical path (%d segments, binding-constraint chain):\n", len(sb.CriticalPath))
+		show := sb.CriticalPath
+		if len(show) > *topK {
+			show = show[len(show)-*topK:]
+		}
+		for _, seg := range show {
+			fmt.Printf("  rank %d  %-14s %-14s %10.3fms -> %.3fms\n",
+				seg.Rank, seg.Name, seg.Class, float64(seg.StartNS)/1e6, float64(seg.EndNS)/1e6)
+		}
+	}
+	if rep.UnmatchedRecvs > 0 {
+		fmt.Printf("(%d unmatched recvs — trace is partial, breakdown approximate)\n", rep.UnmatchedRecvs)
+	}
 	fmt.Printf("\nwrote %s (open in chrome://tracing or ui.perfetto.dev) and %s\n", *out, *metricsOut)
+	if *breakdownOut != "" {
+		fmt.Printf("wrote %s (per-step compute/comm/bubble/straggler attribution + critical path)\n", *breakdownOut)
+	}
 }
 
 func fail(format string, args ...any) {

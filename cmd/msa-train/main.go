@@ -18,6 +18,8 @@ import (
 	"repro/internal/data"
 	"repro/internal/mpi"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 	pipeSched := flag.String("pipe-schedule", "gpipe", "pipeline schedule: gpipe | 1f1b")
 	virtual := flag.Int("virtual-chunks", 0, "model chunks per stage (0 = schedule default: 1 gpipe, 2 1f1b)")
 	seed := flag.Int64("seed", 1, "global seed")
+	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /trace /breakdown /debug/pprof /healthz) at host:port during the run")
 	flag.Parse()
 
 	sched, err := pipeline.ParseSchedule(*pipeSched)
@@ -50,6 +53,28 @@ func main() {
 		BaseLR: *lr, Warmup: *warmup, Algo: mpi.Algo(*algo), FP16: *fp16,
 		Overlap: *overlap, BucketBytes: *bucketKB * 1024, ZeRO: *zero, Seed: *seed,
 		PipelineStages: *stages, MicroBatches: *micro, PipeSchedule: sched, VirtualChunks: *virtual,
+	}
+
+	var tracer *telemetry.Tracer
+	var reg *telemetry.Registry
+	if *serveAddr != "" {
+		// The endpoint reads the tracer and registry live, so a scrape or
+		// /breakdown request mid-training sees the run so far.
+		tracer = telemetry.NewTracer(0)
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterMemMetrics(reg)
+		cfg.Tracer, cfg.Registry = tracer, reg
+		srv, err := telemetry.Serve(*serveAddr, telemetry.ServeConfig{
+			Registry:  reg,
+			Tracer:    tracer,
+			Breakdown: causal.BreakdownJSON(tracer),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msa-train: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint at http://%s\n", srv.Addr)
 	}
 
 	var res core.DDPResult
@@ -89,5 +114,14 @@ func main() {
 	}
 	if *stages > 1 {
 		fmt.Printf("bubble fraction %.3f (planned %s schedule, S=%d M=%d)\n", res.BubbleFraction, sched, *stages, *micro)
+	}
+	if tracer != nil {
+		rep := causal.Analyze(tracer.Spans())
+		causal.PublishMetrics(reg, rep)
+		if n := len(rep.Steps); n > 0 {
+			sb := rep.Steps[n-1]
+			fmt.Printf("causal attribution (last step): compute %.3f  exposed-comm %.3f  bubble %.3f  straggler %.3f\n",
+				sb.ComputeFraction, sb.CommFraction, sb.BubbleFraction, sb.StragglerFraction)
+		}
 	}
 }

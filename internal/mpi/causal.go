@@ -1,0 +1,80 @@
+package mpi
+
+import "sync"
+
+// Causal stream sequencing for p2p tracing. When a tracer is attached,
+// every traced Send/Recv is stamped with its position on the (src, dst,
+// tag) message stream. Because mailboxes are non-overtaking per
+// (src, tag), the k-th send on a stream IS the k-th receive on the other
+// side — so per-rank span logs can be merged into a global
+// happens-before DAG (internal/telemetry/causal) purely from these
+// coordinates, with no cross-rank clock agreement required.
+//
+// Counters are assigned on the rank goroutine issuing the operation.
+// Traffic injected from foreign goroutines onto user tags (e.g. the ft
+// injector's delayed-delivery timers) may observe seq assignment order
+// different from mailbox order; such edges simply go unmatched in the
+// merge rather than corrupting it.
+
+// subCommTagStride is the tag-block stride of SubComm (split.go): each
+// sub-communicator offsets its user tags by subCommTagStride*(lowest
+// member+1), so tag/subCommTagStride recovers a stable communicator id
+// (0 = world).
+const subCommTagStride = maxUserTag * 64
+
+// traceTag reports whether p2p traffic on tag belongs to a user-visible
+// stream worth a causal span: plain user tags and SubComm-offset user
+// tags. The internal collective band [maxUserTag, subCommTagStride) —
+// barrier/bcast/… handshakes and the iallreduce segment band, whose
+// background-goroutine traffic would break per-rank seq ordering — is
+// deliberately excluded; collectives are traced as single
+// SpanCollective spans instead.
+func traceTag(tag int) bool {
+	return tag < maxUserTag || tag >= subCommTagStride
+}
+
+// commIDFor maps a tag to its communicator id (0 = world).
+func commIDFor(tag int) int { return tag / subCommTagStride }
+
+// rankCausal holds one rank's per-stream sequence counters, keyed by
+// (tag, peer). A mutex (not atomics) because the maps grow; the cost is
+// paid only while a tracer is attached.
+type rankCausal struct {
+	mu   sync.Mutex
+	send map[int64]int64 // (tag, dst) -> next seq
+	recv map[int64]int64 // (tag, src) -> next seq
+}
+
+func (rc *rankCausal) nextSend(key int64) int64 {
+	rc.mu.Lock()
+	if rc.send == nil {
+		rc.send = map[int64]int64{}
+	}
+	seq := rc.send[key]
+	rc.send[key] = seq + 1
+	rc.mu.Unlock()
+	return seq
+}
+
+func (rc *rankCausal) nextRecv(key int64) int64 {
+	rc.mu.Lock()
+	if rc.recv == nil {
+		rc.recv = map[int64]int64{}
+	}
+	seq := rc.recv[key]
+	rc.recv[key] = seq + 1
+	rc.mu.Unlock()
+	return seq
+}
+
+func (rc *rankCausal) reset() {
+	rc.mu.Lock()
+	rc.send = nil
+	rc.recv = nil
+	rc.mu.Unlock()
+}
+
+// streamKey packs (tag, peer) into one map key.
+func (w *World) streamKey(tag, peer int) int64 {
+	return int64(tag)*int64(w.size) + int64(peer)
+}

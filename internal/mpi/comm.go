@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Comm is a rank's handle onto the world: the object through which all
@@ -42,13 +44,49 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
 	atomic.AddInt64(&c.world.stats[c.rank].MessagesSent, 1)
 	atomic.AddInt64(&c.world.stats[c.rank].ElemsSent, int64(len(data)))
+	if tr := c.world.tracer.Load(); tr != nil && traceTag(tag) {
+		seq := c.world.causal[c.rank].nextSend(c.world.streamKey(tag, dst))
+		tr.EmitSpan(telemetry.Span{
+			Track: c.rank, Cat: telemetry.CatComm, Name: "mpi.send",
+			Start: tr.Start(), Bytes: int64(len(data)) * 8,
+			Kind: telemetry.SpanSend, CommID: commIDFor(tag), Peer: dst, Tag: tag, Seq: seq,
+		})
+	}
 }
 
 // Recv blocks until a message from src (or AnySource) with the given tag
 // arrives and returns its payload and actual source rank.
 func (c *Comm) Recv(src, tag int) ([]float64, int) {
+	tr, t0 := c.recvStart(tag)
 	msg := c.world.boxes[c.rank].get(src, tag)
+	c.recvSpan(tr, t0, tag, msg.src, len(msg.data))
 	return msg.data, msg.src
+}
+
+// recvStart opens the blocked-wait window for a traced receive: it loads
+// the tracer once (so attach/detach races cannot mismatch start and
+// emit) and reads the clock only when the tag is traced.
+func (c *Comm) recvStart(tag int) (*telemetry.Tracer, int64) {
+	tr := c.world.tracer.Load()
+	if tr == nil || !traceTag(tag) {
+		return nil, 0
+	}
+	return tr, tr.Start()
+}
+
+// recvSpan closes a traced receive: the span covers the blocked wait
+// from recvStart to message arrival and carries the stream coordinates
+// (actual source, tag, per-stream seq) that match it to its send.
+func (c *Comm) recvSpan(tr *telemetry.Tracer, t0 int64, tag, src, elems int) {
+	if tr == nil {
+		return
+	}
+	seq := c.world.causal[c.rank].nextRecv(c.world.streamKey(tag, src))
+	tr.EmitSpan(telemetry.Span{
+		Track: c.rank, Cat: telemetry.CatComm, Name: "mpi.recv",
+		Start: t0, Dur: tr.Start() - t0, Bytes: int64(elems) * 8,
+		Kind: telemetry.SpanRecv, CommID: commIDFor(tag), Peer: src, Tag: tag, Seq: seq,
+	})
 }
 
 // RecvInto receives a message from src (or AnySource) with the given tag
@@ -62,10 +100,12 @@ func (c *Comm) Recv(src, tag int) ([]float64, int) {
 // knows its activation shapes, so truncation is a protocol bug, not a
 // runtime condition.
 func (c *Comm) RecvInto(src, tag int, buf []float64) (int, int) {
+	tr, t0 := c.recvStart(tag)
 	msg := c.world.boxes[c.rank].get(src, tag)
 	if len(msg.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: RecvInto buffer too small: message %d elems, buffer %d", len(msg.data), len(buf)))
 	}
+	c.recvSpan(tr, t0, tag, msg.src, len(msg.data))
 	n := copy(buf, msg.data)
 	c.world.wire.put(msg.data)
 	return n, msg.src
@@ -76,10 +116,12 @@ func (c *Comm) RecvInto(src, tag int, buf []float64) (int, int) {
 // detection protocols need a bounded wait — a plain Recv from a dead peer
 // blocks forever.
 func (c *Comm) RecvTimeout(src, tag int, timeout time.Duration) ([]float64, int, bool) {
+	tr, t0 := c.recvStart(tag)
 	msg, ok := c.world.boxes[c.rank].getTimeout(src, tag, timeout)
 	if !ok {
 		return nil, 0, false
 	}
+	c.recvSpan(tr, t0, tag, msg.src, len(msg.data))
 	return msg.data, msg.src, true
 }
 

@@ -59,7 +59,11 @@ var noopEnd = func() {}
 // before.
 func (c *Comm) collective(kind CollectiveKind, elems int, attr string) func() {
 	st := &c.world.stats[c.rank]
-	atomic.AddInt64(&st.Collectives, 1)
+	// The incremented total doubles as the causal sequence: collectives
+	// are issued in the same order on every rank (SPMD), so equal values
+	// on different ranks name the same collective instance — the merge
+	// layer joins them into one barrier node without cross-rank clocks.
+	seq := atomic.AddInt64(&st.Collectives, 1)
 	atomic.AddInt64(&st.ByKind[kind], 1)
 	tr := c.world.tracer.Load()
 	if tr == nil {
@@ -68,15 +72,26 @@ func (c *Comm) collective(kind CollectiveKind, elems int, attr string) func() {
 	start := tr.Start()
 	rank := c.rank
 	return func() {
-		tr.End(rank, telemetry.CatCollective, kind.String(), start, int64(elems)*8, attr)
+		tr.EmitSpan(telemetry.Span{
+			Track: rank, Cat: telemetry.CatCollective, Name: kind.String(),
+			Start: start, Dur: tr.Start() - start, Bytes: int64(elems) * 8, Attr: attr,
+			Kind: telemetry.SpanCollective, Peer: -1, Seq: seq,
+		})
 	}
 }
 
 // SetTracer attaches a span tracer to the world: every collective on any
-// rank emits a telemetry.CatCollective span onto the rank's track, tagged
-// with payload bytes and (for Allreduce) the resolved algorithm. Rank
-// tracks are named "rank N". Pass nil to disable tracing again.
+// rank emits a telemetry.CatCollective span onto the rank's track, and
+// every p2p operation on a user-visible tag emits a causally tagged
+// send/recv span (causal.go), all tagged with payload bytes and (for
+// Allreduce) the resolved algorithm. Rank tracks are named "rank N".
+// Pass nil to disable tracing again. Attach while ranks are quiescent:
+// the per-stream sequence counters reset here, and messages in flight
+// across the switch would go unmatched in the causal merge.
 func (w *World) SetTracer(t *telemetry.Tracer) {
+	for r := range w.causal {
+		w.causal[r].reset()
+	}
 	w.tracer.Store(t)
 	for r := 0; r < w.size; r++ {
 		t.SetTrackName(r, fmt.Sprintf("rank %d", r))

@@ -178,6 +178,9 @@ type World struct {
 	// wire recycles Send payload buffers (wirepool.go); the zero value is
 	// ready to use.
 	wire wirePool
+	// causal holds per-rank p2p stream sequence counters (causal.go),
+	// advanced only while a tracer is attached.
+	causal []rankCausal
 }
 
 // NewWorld creates a world with n ranks. Panics if n < 1.
@@ -185,7 +188,7 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("mpi: world size must be >=1, got %d", n))
 	}
-	w := &World{size: n, boxes: make([]*mailbox, n), stats: make([]Stats, n), iseq: make([]int64, n)}
+	w := &World{size: n, boxes: make([]*mailbox, n), stats: make([]Stats, n), iseq: make([]int64, n), causal: make([]rankCausal, n)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}

@@ -214,6 +214,7 @@ func (st *Stage) syncTag(c int) int          { return st.cfg.BaseTag + 2 + 2*st.
 // receives both (in 2D grids each pipeline group shares one replica
 // batch) and returns the same minibatch mean loss.
 func (st *Stage) Step(x, y *tensor.Tensor) float64 {
+	trStep := st.cfg.Tracer.Start()
 	st.ws.ReleaseAll()
 	st.resetStep()
 	st.splitMicros(x, y)
@@ -261,6 +262,7 @@ func (st *Stage) Step(x, y *tensor.Tensor) float64 {
 			st.gBubble.Set(st.bubble)
 		}
 	}
+	st.cfg.Tracer.End(st.rank, telemetry.CatStep, "pipe.step", trStep, 0, st.cfg.Schedule.String())
 	st.steps++
 	return lossTotal
 }
@@ -471,8 +473,10 @@ func (st *Stage) drain(block bool) {
 		if t.Size() != elems {
 			panic(fmt.Sprintf("pipeline: header shape %v disagrees with payload length %d", shape, elems))
 		}
-		st.peer.RecvInto(src, st.payloadTag(kind, c), t.Data())
-		st.cfg.Tracer.End(st.rank, telemetry.CatComm, "pipe.recv", tr, int64(elems*8), "")
+		n, _ := st.peer.RecvInto(src, st.payloadTag(kind, c), t.Data())
+		// Bytes from the wire length actually received, not elems*8: a
+		// compressed/FP16 payload path must report what crossed the wire.
+		st.cfg.Tracer.End(st.rank, telemetry.CatComm, "pipe.recv", tr, int64(n)*8, "")
 		st.enqueue(kind, c, m, t)
 		block = false
 	}

@@ -1,0 +1,225 @@
+package causal_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/causal"
+	"repro/internal/tensor"
+)
+
+// plannedReport analyzes the deterministic ideal-machine replay of a
+// planned schedule — host-independent, so attribution numbers must hit
+// the analytic model exactly (up to ns rounding).
+func plannedReport(t *testing.T, sched pipeline.Schedule, S, v, M int) *causal.Report {
+	t.Helper()
+	tr := telemetry.NewTracer(1 << 16)
+	if err := pipeline.EmitPlannedTrace(tr, S, v, M, sched, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	rep := causal.Analyze(tr.Spans())
+	if len(rep.Steps) != 1 {
+		t.Fatalf("planned trace produced %d step windows, want 1", len(rep.Steps))
+	}
+	if rep.UnmatchedRecvs != 0 {
+		t.Fatalf("planned trace has %d unmatched recvs", rep.UnmatchedRecvs)
+	}
+	return rep
+}
+
+// The acceptance pin: GPipe bubble attribution at S=3, M=8 must match
+// the analytic (S−1)/(M+S−1) = 0.2 within 2%.
+func TestPlannedGPipeBubbleMatchesAnalytic(t *testing.T) {
+	const S, M = 3, 8
+	rep := plannedReport(t, pipeline.GPipe, S, 1, M)
+	sb := rep.Steps[0]
+	want := float64(S-1) / float64(M+S-1)
+	if math.Abs(sb.BubbleFraction-want) > 0.02*want {
+		t.Fatalf("GPipe S=%d M=%d bubble attribution %v, analytic %v (tolerance 2%%)", S, M, sb.BubbleFraction, want)
+	}
+	// The same replay that PlannedBubble evaluates: the two measurements
+	// must agree to ns-rounding precision.
+	planned := pipeline.PlannedBubble(S, 1, M, pipeline.GPipe, 1, 2)
+	if math.Abs(sb.BubbleFraction-planned) > 1e-6 {
+		t.Fatalf("attribution bubble %v, schedule-replay bubble %v", sb.BubbleFraction, planned)
+	}
+	// Everything that isn't bubble on an ideal machine is compute.
+	if math.Abs(sb.ComputeFraction-(1-want)) > 1e-6 {
+		t.Fatalf("compute fraction %v, want %v", sb.ComputeFraction, 1-want)
+	}
+	if sb.StragglerFraction != 0 || sb.CommFraction != 0 {
+		t.Fatalf("ideal machine has no exposed comm or stragglers: comm=%v straggler=%v", sb.CommFraction, sb.StragglerFraction)
+	}
+}
+
+func TestPlanned1F1BBubbleBelowGPipe(t *testing.T) {
+	const S, M = 3, 8
+	g := plannedReport(t, pipeline.GPipe, S, 1, M).Steps[0].BubbleFraction
+	o := plannedReport(t, pipeline.OneFOneB, S, 2, M).Steps[0].BubbleFraction
+	if o >= g {
+		t.Fatalf("interleaved 1F1B bubble %v not below GPipe %v", o, g)
+	}
+}
+
+// Two merges of the same deterministic trace must agree on both the DAG
+// and the critical path.
+func TestPlannedTraceDeterministic(t *testing.T) {
+	mk := func() (*causal.Report, string) {
+		tr := telemetry.NewTracer(1 << 16)
+		if err := pipeline.EmitPlannedTrace(tr, 3, 2, 6, pipeline.OneFOneB, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		return causal.Analyze(tr.Spans()), causal.Build(tr.Spans()).Canonical()
+	}
+	r1, c1 := mk()
+	r2, c2 := mk()
+	if c1 != c2 {
+		t.Fatalf("canonical DAGs differ:\n%s\nvs\n%s", c1, c2)
+	}
+	if !reflect.DeepEqual(r1.Steps[0].CriticalPath, r2.Steps[0].CriticalPath) {
+		t.Fatalf("critical paths differ:\n%v\nvs\n%v", r1.Steps[0].CriticalPath, r2.Steps[0].CriticalPath)
+	}
+}
+
+func TestCriticalPathStructure(t *testing.T) {
+	sb := plannedReport(t, pipeline.GPipe, 3, 1, 8).Steps[0]
+	path := sb.CriticalPath
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].EndNS < path[i-1].EndNS {
+			t.Fatalf("critical path not chronological at %d: %v after %v", i, path[i], path[i-1])
+		}
+	}
+	if got := path[len(path)-1].EndNS; got != sb.WindowEndNS {
+		t.Fatalf("critical path ends at %d, window ends at %d", got, sb.WindowEndNS)
+	}
+	// GPipe's makespan chain crosses every stage: fill forwards go up the
+	// ranks, drain backwards come back.
+	seen := map[int]bool{}
+	for _, seg := range path {
+		seen[seg.Rank] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("critical path touches ranks %v, want all 3 stages", seen)
+	}
+}
+
+// runTracedPipeline executes one traced 4-rank GPipe step plus a world
+// allreduce and returns the span snapshot.
+func runTracedPipeline(t *testing.T) []telemetry.Span {
+	t.Helper()
+	const S, M, rows = 4, 4, 12
+	w := mpi.NewWorld(S)
+	tr := telemetry.NewTracer(1 << 16)
+	w.SetTracer(tr)
+	loss := nn.SoftmaxCrossEntropy{}
+	err := w.Run(func(c *mpi.Comm) error {
+		model := nn.MLP(rand.New(rand.NewSource(7)), 12, 24, 20, 16, 5)
+		st, err := pipeline.New(c, model, loss, pipeline.Config{
+			MicroBatches: M, Schedule: pipeline.GPipe, Tracer: tr,
+		})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(11))
+		x := tensor.Randn(rng, 1, rows, 12)
+		y := tensor.New(rows, 5)
+		for r := 0; r < rows; r++ {
+			y.Data()[r*5+rng.Intn(5)] = 1
+		}
+		model.ZeroGrads()
+		st.Step(x, y)
+		c.Allreduce([]float64{float64(c.Rank())}, mpi.OpSum, mpi.AlgoRing)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace ring dropped %d spans; grow the ring", tr.Dropped())
+	}
+	return tr.Spans()
+}
+
+// The merge-determinism acceptance test: two real 4-rank traced runs
+// differ in every wall-clock timestamp, but their causal structure —
+// per-rank task order, message edges, collective groups — must be
+// identical. Runs under -race in CI.
+func TestFourRankPipelineMergeDeterministic(t *testing.T) {
+	d1 := causal.Build(runTracedPipeline(t))
+	d2 := causal.Build(runTracedPipeline(t))
+	if d1.UnmatchedRecvs != 0 {
+		t.Fatalf("%d unmatched recvs in a complete trace", d1.UnmatchedRecvs)
+	}
+	c1, c2 := d1.Canonical(), d2.Canonical()
+	if c1 != c2 {
+		t.Fatalf("canonical DAGs of two identical runs differ:\n--- run 1\n%s\n--- run 2\n%s", c1, c2)
+	}
+	if len(d1.Ranks) != 4 {
+		t.Fatalf("merged DAG has ranks %v, want 4", d1.Ranks)
+	}
+}
+
+// The real-run analysis must see the collective barrier: all four
+// allreduce participations merge into one group.
+func TestRealRunCollectiveMatching(t *testing.T) {
+	d := causal.Build(runTracedPipeline(t))
+	groups := 0
+	for _, r := range d.Ranks {
+		for _, n := range d.ByRank[r] {
+			if n.Span.Kind == telemetry.SpanCollective && len(n.Group) > 0 && n.Group[0] == n {
+				groups++
+				if len(n.Group) != 4 {
+					t.Fatalf("collective group size %d, want 4", len(n.Group))
+				}
+			}
+		}
+	}
+	if groups != 1 {
+		t.Fatalf("found %d collective groups, want 1", groups)
+	}
+}
+
+// A real-run breakdown must attribute the full window: per rank,
+// compute + comm + p2p-wait + straggler + idle covers the window (the
+// classes partition time; small overlaps only ever push idle to 0).
+func TestRealRunBreakdownCoversWindow(t *testing.T) {
+	rep := causal.Analyze(runTracedPipeline(t))
+	if len(rep.Steps) == 0 {
+		t.Fatal("no step windows detected despite pipe.step spans")
+	}
+	sb := rep.Steps[0]
+	window := sb.WindowEndNS - sb.WindowStartNS
+	if window <= 0 {
+		t.Fatalf("bad window [%d, %d]", sb.WindowStartNS, sb.WindowEndNS)
+	}
+	for _, rb := range sb.Ranks {
+		sum := rb.ComputeNS + rb.ExposedCommNS + rb.P2PWaitNS + rb.StragglerNS + rb.IdleNS
+		if sum < window*98/100 {
+			t.Fatalf("rank %d attribution %dns covers <98%% of window %dns: %+v", rb.Rank, sum, window, rb)
+		}
+	}
+	if len(sb.CriticalPath) == 0 {
+		t.Fatal("real-run step has empty critical path")
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	rep := plannedReport(t, pipeline.GPipe, 3, 1, 8)
+	reg := telemetry.NewRegistry()
+	causal.PublishMetrics(reg, rep)
+	if got := reg.Gauge("msa_criticalpath_bubble_fraction").Value(); math.Abs(got-0.2) > 0.004 {
+		t.Fatalf("msa_criticalpath_bubble_fraction = %v, want ≈0.2", got)
+	}
+	if got := reg.Gauge("msa_criticalpath_compute_fraction").Value(); math.Abs(got-0.8) > 0.004 {
+		t.Fatalf("msa_criticalpath_compute_fraction = %v, want ≈0.8", got)
+	}
+}

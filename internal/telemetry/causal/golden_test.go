@@ -1,0 +1,73 @@
+package causal_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The merged Chrome trace of a deterministic planned pipeline run is
+// byte-stable: same spans, same flow-event ids, same encoding. The
+// golden file pins the whole export format — span args, thread-name
+// metadata, and the "s"/"f" flow arrows joining each matched send to
+// its receive.
+func TestChromeTraceFlowEventsGolden(t *testing.T) {
+	tr := telemetry.NewTracer(1 << 12)
+	if err := pipeline.EmitPlannedTrace(tr, 2, 1, 2, pipeline.GPipe, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "flow_gpipe_s2_m2.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("merged Chrome trace drifted from golden %s:\n--- got\n%s\n--- want\n%s", golden, buf.Bytes(), want)
+	}
+
+	// Structural checks on top of the byte pin: every flow start has a
+	// matching finish bound to a span end (bp "e"), one pair per message.
+	var ct telemetry.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	starts, finishes := map[string]int{}, map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts[ev.ID]++
+		case "f":
+			if ev.BP != "e" {
+				t.Fatalf("flow finish %q without bp=e", ev.ID)
+			}
+			finishes[ev.ID]++
+		}
+	}
+	// S=2, M=2 GPipe: 2 forward activations cross 0→1, 2 gradient
+	// messages cross 1→0.
+	if len(starts) != 4 {
+		t.Fatalf("expected 4 flow pairs, got %d: %v", len(starts), starts)
+	}
+	for id, n := range starts {
+		if n != 1 || finishes[id] != 1 {
+			t.Fatalf("flow id %q has %d starts / %d finishes", id, n, finishes[id])
+		}
+	}
+}

@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 )
 
 // Chrome trace-event export: the Tracer's spans become complete ("X")
@@ -10,7 +12,9 @@ import (
 // Perfetto. Each track renders as one thread row (tid = track id) named
 // via thread_name metadata events, so a multi-rank run reads as a
 // per-rank timeline — the Vampir-style view the paper's scaling analysis
-// relies on.
+// relies on. Causally kinded spans additionally emit flow events
+// ("s"/"f" arrows) joining each matched send to its receive, turning the
+// per-rank rows into one cross-rank message timeline.
 
 // ChromeEvent is one trace event (exported for test validation).
 type ChromeEvent struct {
@@ -21,6 +25,8 @@ type ChromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow-event binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e")
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -43,13 +49,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	// Metadata order from the map is random; keep it deterministic.
 	sortEventsByTid(trace.TraceEvents)
-	for _, s := range t.Spans() {
+	spans := t.Spans()
+	for _, s := range spans {
 		ev := ChromeEvent{
 			Name: s.Name, Cat: string(s.Cat), Ph: "X",
 			Ts: float64(s.Start) / 1e3, Dur: float64(s.Dur) / 1e3,
 			Pid: 0, Tid: s.Track,
 		}
-		if s.Bytes != 0 || s.Attr != "" {
+		if s.Bytes != 0 || s.Attr != "" || s.Kind != SpanNone {
 			ev.Args = map[string]any{}
 			if s.Bytes != 0 {
 				ev.Args["bytes"] = s.Bytes
@@ -57,11 +64,78 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			if s.Attr != "" {
 				ev.Args["attr"] = s.Attr
 			}
+			if s.Kind == SpanSend || s.Kind == SpanRecv {
+				ev.Args["peer"] = s.Peer
+				ev.Args["tag"] = s.Tag
+				ev.Args["seq"] = s.Seq
+			}
+			if s.Kind == SpanCollective {
+				ev.Args["seq"] = s.Seq
+			}
+			if len(ev.Args) == 0 {
+				ev.Args = nil
+			}
 		}
 		trace.TraceEvents = append(trace.TraceEvents, ev)
 	}
+	trace.TraceEvents = append(trace.TraceEvents, flowEvents(spans)...)
 	enc := json.NewEncoder(w)
 	return enc.Encode(trace)
+}
+
+// flowEvents matches SpanSend spans to SpanRecv spans by their
+// (comm, src, dst, tag, seq) stream identity and emits a flow-start
+// ("s") at the send end anchored to the send span plus a flow-finish
+// ("f", bp "e") at the matched receive's end. The flow id encodes the
+// stream coordinates, so output is deterministic for a deterministic
+// span set.
+func flowEvents(spans []Span) []ChromeEvent {
+	type streamKey struct {
+		comm, src, dst, tag int
+		seq                 int64
+	}
+	sends := map[streamKey]Span{}
+	var recvs []Span
+	for _, s := range spans {
+		switch s.Kind {
+		case SpanSend:
+			sends[streamKey{s.CommID, s.Track, s.Peer, s.Tag, s.Seq}] = s
+		case SpanRecv:
+			recvs = append(recvs, s)
+		}
+	}
+	sort.SliceStable(recvs, func(i, j int) bool {
+		a, b := recvs[i], recvs[j]
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Seq < b.Seq
+	})
+	var out []ChromeEvent
+	for _, r := range recvs {
+		k := streamKey{r.CommID, r.Peer, r.Track, r.Tag, r.Seq}
+		s, ok := sends[k]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("msg:%d:%d:%d:%d:%d", k.comm, k.src, k.dst, k.tag, k.seq)
+		out = append(out,
+			ChromeEvent{
+				Name: "msg", Cat: string(s.Cat), Ph: "s", ID: id,
+				Ts: float64(s.End()) / 1e3, Pid: 0, Tid: s.Track,
+			},
+			ChromeEvent{
+				Name: "msg", Cat: string(r.Cat), Ph: "f", BP: "e", ID: id,
+				Ts: float64(r.End()) / 1e3, Pid: 0, Tid: r.Track,
+			})
+	}
+	return out
 }
 
 func sortEventsByTid(evs []ChromeEvent) {

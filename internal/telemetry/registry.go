@@ -233,8 +233,18 @@ func writeSeries(w io.Writer, f *family, s *series, key string) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, key, formatFloat(s.hist.Sum().Seconds())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, s.hist.Count())
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, s.hist.Count()); err != nil {
+			return err
+		}
+		if s.hist.Count() > 0 {
+			for _, q := range [...]float64{0.5, 0.95, 0.99} {
+				withQ := renderLabels(append(append([]Label(nil), s.labels...), Label{"quantile", formatFloat(q)}))
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, withQ, formatFloat(s.hist.Quantile(q).Seconds())); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	case s.fn != nil:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatFloat(s.fn()))
 		return err

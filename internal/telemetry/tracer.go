@@ -53,6 +53,30 @@ const (
 	CatRecovery Category = "recovery"
 )
 
+// SpanKind marks a span as a causally matchable communication event.
+// Kinded spans carry the (CommID, Peer, Tag, Seq) identity that lets the
+// causal merge (internal/telemetry/causal) join N per-rank span streams
+// into one global happens-before DAG: the k-th send on a (src, dst, tag)
+// stream is the k-th receive on the other side (MPI's non-overtaking
+// guarantee makes matching positional), and the k-th collective call on
+// every rank of a communicator is one collective instance (SPMD issue
+// order).
+type SpanKind uint8
+
+// Span kinds. SpanNone (the zero value) is a plain timed region.
+const (
+	SpanNone SpanKind = iota
+	// SpanSend marks a point-to-point send; Peer is the destination rank.
+	SpanSend
+	// SpanRecv marks a point-to-point receive, covering the blocked wait;
+	// Peer is the actual source rank.
+	SpanRecv
+	// SpanCollective marks one rank's participation in a collective; Seq
+	// is the rank's collective-issue counter, equal across ranks for the
+	// same instance.
+	SpanCollective
+)
+
 // Span is one completed timed region on a track. Tracks map to Chrome
 // trace rows (tid): MPI ranks, serve replicas, or MSA modules.
 type Span struct {
@@ -63,6 +87,20 @@ type Span struct {
 	Dur   int64  // ns
 	Bytes int64  // payload size, 0 when not applicable
 	Attr  string // free-form tag (allreduce algorithm, node count…)
+
+	// Causal identity, zero for plain spans (Kind == SpanNone).
+	Kind SpanKind
+	// CommID distinguishes communicators: 0 is the world (and plain user
+	// tags); sub-communicators map to their tag-block index.
+	CommID int
+	// Peer is the remote rank for p2p events (destination for sends,
+	// source for receives); meaningless unless Kind is SpanSend/SpanRecv.
+	Peer int
+	// Tag is the message tag for p2p events.
+	Tag int
+	// Seq is the per-stream sequence: the position of this event on its
+	// (src, dst, tag) p2p stream, or the rank's collective-issue counter.
+	Seq int64
 }
 
 // End returns the span's end time in ns since the epoch.
@@ -132,15 +170,25 @@ func (t *Tracer) Emit(track int, cat Category, name string, start, dur, bytes in
 	if t == nil {
 		return
 	}
-	if dur < 0 {
-		dur = 0
+	t.EmitSpan(Span{Track: track, Cat: cat, Name: name, Start: start, Dur: dur, Bytes: bytes, Attr: attr})
+}
+
+// EmitSpan records a fully populated span, including causal identity
+// fields that the positional Emit signature cannot carry. No-op on a nil
+// tracer.
+func (t *Tracer) EmitSpan(s Span) {
+	if t == nil {
+		return
 	}
-	r := t.ringFor(track)
+	if s.Dur < 0 {
+		s.Dur = 0
+	}
+	r := t.ringFor(s.Track)
 	r.mu.Lock()
 	if len(r.spans) < t.ringCap {
-		r.spans = append(r.spans, Span{Track: track, Cat: cat, Name: name, Start: start, Dur: dur, Bytes: bytes, Attr: attr})
+		r.spans = append(r.spans, s)
 	} else {
-		r.spans[r.next] = Span{Track: track, Cat: cat, Name: name, Start: start, Dur: dur, Bytes: bytes, Attr: attr}
+		r.spans[r.next] = s
 		r.full = true
 		t.dropped.Add(1)
 	}
