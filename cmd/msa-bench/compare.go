@@ -26,10 +26,21 @@ type compareOpts struct {
 	// allocSlack absolute allocations of headroom for tiny baselines.
 	tolAllocs  float64
 	allocSlack float64
+	// tolLatency is the allowed relative p99 growth for serving
+	// workloads (latency jitters even more than throughput across CI
+	// hosts, so the default is deliberately loose — it exists to catch
+	// order-of-magnitude regressions).
+	tolLatency float64
+	// tolShed is the allowed absolute shed-fraction worsening for
+	// serving workloads; cache hit rate reuses tolFraction.
+	tolShed float64
 }
 
 func defaultCompareOpts() compareOpts {
-	return compareOpts{tolThroughput: 0.30, tolFraction: 0.10, tolAllocs: 0.15, allocSlack: 16}
+	return compareOpts{
+		tolThroughput: 0.30, tolFraction: 0.10, tolAllocs: 0.15, allocSlack: 16,
+		tolLatency: 1.0, tolShed: 0.25,
+	}
 }
 
 func writeReport(path string, rep *benchReport) error {
@@ -102,6 +113,24 @@ func compareReports(oldRep, newRep *benchReport, opts compareOpts, w io.Writer) 
 			if cur.OverlapRatio < old.OverlapRatio-opts.tolFraction {
 				fail("%s: overlap_ratio %.3f -> %.3f (tolerance %.3f)",
 					old.Name, old.OverlapRatio, cur.OverlapRatio, opts.tolFraction)
+			}
+		}
+		// Serving rows carry latency/shed/cache gates too.
+		if old.P99Ms > 0 || cur.P99Ms > 0 {
+			row(old.Name, "p99_ms", old.P99Ms, cur.P99Ms)
+			if old.P99Ms > 0 && cur.P99Ms > old.P99Ms*(1+opts.tolLatency) {
+				fail("%s: p99 %.2fms -> %.2fms (allowed growth %.0f%%)",
+					old.Name, old.P99Ms, cur.P99Ms, opts.tolLatency*100)
+			}
+			row(old.Name, "shed", old.ShedFraction, cur.ShedFraction)
+			if cur.ShedFraction > old.ShedFraction+opts.tolShed {
+				fail("%s: shed_fraction %.3f -> %.3f (tolerance %.3f)",
+					old.Name, old.ShedFraction, cur.ShedFraction, opts.tolShed)
+			}
+			row(old.Name, "cache-hit", old.CacheHitRate, cur.CacheHitRate)
+			if cur.CacheHitRate < old.CacheHitRate-opts.tolFraction {
+				fail("%s: cache_hit_rate %.3f -> %.3f (tolerance %.3f)",
+					old.Name, old.CacheHitRate, cur.CacheHitRate, opts.tolFraction)
 			}
 		}
 	}

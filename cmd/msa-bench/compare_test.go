@@ -36,6 +36,19 @@ func TestCompareSelfPasses(t *testing.T) {
 	}
 }
 
+// soakRow finds the serve-soak serving workload in a report; the
+// baseline must carry one so the serving gates stay live.
+func soakRow(t *testing.T, r *benchReport) *benchWorkload {
+	t.Helper()
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == "serve-soak" {
+			return &r.Workloads[i]
+		}
+	}
+	t.Fatal("baseline has no serve-soak workload")
+	return nil
+}
+
 // Injected regressions beyond tolerance must each be caught, and
 // improvements in the same metrics must not be.
 func TestCompareCatchesInjectedRegressions(t *testing.T) {
@@ -74,6 +87,20 @@ func TestCompareCatchesInjectedRegressions(t *testing.T) {
 		}, 0},
 		{"workload dropped", func(r *benchReport) {
 			r.Workloads = r.Workloads[1:]
+		}, 1},
+		{"serving p99 blowup", func(r *benchReport) {
+			wl := soakRow(t, r)
+			wl.P99Ms = wl.P99Ms*(1+opts.tolLatency) + 1
+		}, 1},
+		{"serving p99 improvement ok", func(r *benchReport) {
+			soakRow(t, r).P99Ms *= 0.1
+		}, 0},
+		{"shed fraction up", func(r *benchReport) {
+			soakRow(t, r).ShedFraction += opts.tolShed + 0.01
+		}, 1},
+		{"cache hit rate collapse", func(r *benchReport) {
+			wl := soakRow(t, r)
+			wl.CacheHitRate -= opts.tolFraction + 0.01
 		}, 1},
 		{"two regressions", func(r *benchReport) {
 			r.Workloads[0].Throughput = 0.001

@@ -37,6 +37,8 @@ func main() {
 	tolFraction := flag.Float64("tol-fraction", defTol.tolFraction, "allowed absolute comm/bubble/overlap worsening for -compare")
 	tolAllocs := flag.Float64("tol-allocs", defTol.tolAllocs, "allowed relative allocs/op growth for -compare")
 	allocSlack := flag.Float64("alloc-slack", defTol.allocSlack, "absolute allocs/op headroom for -compare")
+	tolLatency := flag.Float64("tol-latency", defTol.tolLatency, "allowed relative serving p99 growth for -compare")
+	tolShed := flag.Float64("tol-shed", defTol.tolShed, "allowed absolute shed-fraction worsening for -compare")
 	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /debug/pprof) at host:port while running")
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 		opts := compareOpts{
 			tolThroughput: *tolThroughput, tolFraction: *tolFraction,
 			tolAllocs: *tolAllocs, allocSlack: *allocSlack,
+			tolLatency: *tolLatency, tolShed: *tolShed,
 		}
 		if err := runCompare(flag.Arg(0), flag.Arg(1), opts); err != nil {
 			fmt.Fprintf(os.Stderr, "msa-bench: %v\n", err)

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// The serve-soak workload: a short bursty storm against a fixed-size
+// two-group serving fleet (no autoscaler — the soak measures the steady
+// data path: admission, batching, routing, result cache), reported as a
+// benchWorkload row with latency quantiles, shed fraction, and cache hit
+// rate so the -compare gate covers serving performance alongside the
+// training workloads.
+
+const (
+	soakWorkers = 32
+	soakClasses = 4
+)
+
+// soakBackend is a fixed-cost stand-in model: the real service time comes
+// from the group's ModeledBackend wrapper, so the soak measures the
+// serving machinery rather than kernel speed.
+type soakBackend struct{}
+
+func (soakBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
+	rows := batch.Dim(0)
+	out := tensor.New(rows, soakClasses)
+	for r := 0; r < rows; r++ {
+		out.Data()[r*soakClasses] = 1
+	}
+	return out, nil
+}
+
+func runServeSoak() (benchWorkload, error) {
+	dir, err := os.MkdirTemp("", "msa-bench-soak")
+	if err != nil {
+		return benchWorkload{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := storage.NewModelStore(dir)
+	if err != nil {
+		return benchWorkload{}, err
+	}
+	reg, err := fleet.NewRegistry(store)
+	if err != nil {
+		return benchWorkload{}, err
+	}
+	if _, err := reg.Publish("soak", []byte("v1"), nil); err != nil {
+		return benchWorkload{}, err
+	}
+
+	f, err := fleet.New(fleet.Config{
+		Registry:       reg,
+		BackendFactory: func(string, []byte) (serve.Backend, error) { return soakBackend{}, nil },
+		Groups: []fleet.GroupSpec{
+			{Name: "cm", Kind: "CM", Replicas: 2, MinReplicas: 2, MaxReplicas: 2,
+				LatencyScore: 2e-3, PerSample: 100 * time.Microsecond},
+			{Name: "esb", Kind: "ESB", Replicas: 2, MinReplicas: 2, MaxReplicas: 2,
+				LatencyScore: 1e-3, PerSample: 50 * time.Microsecond},
+		},
+		Serve: serve.Config{
+			MaxBatch: 8, BatchWindow: 200 * time.Microsecond,
+			QueueCap: 32, DefaultDeadline: 500 * time.Millisecond,
+		},
+		CacheSize: 64,
+	})
+	if err != nil {
+		return benchWorkload{}, err
+	}
+	defer f.Close()
+	if err := f.Deploy("soak"); err != nil {
+		return benchWorkload{}, err
+	}
+
+	rep := f.RunStorm(fleet.StormConfig{
+		Model: "soak",
+		Shape: serve.ShapeConfig{
+			BaseRate: 1200, Amplitude: 0.6, Period: 8, Phases: 8,
+			BurstProb: 0.5, BurstMean: 600, Seed: 17,
+		},
+		PhaseDur:   100 * time.Millisecond,
+		Workers:    soakWorkers,
+		SLO:        fleet.SLO{P99: 50 * time.Millisecond},
+		CacheEvery: 4,
+		Sample: func(phase, i int) *tensor.Tensor {
+			x := tensor.New(8)
+			x.Data()[0], x.Data()[1] = float64(phase), float64(i%61)
+			return x
+		},
+	})
+
+	w := benchWorkload{
+		Name: "serve-soak", Workers: soakWorkers, Replicas: 4,
+		Steps:       int(rep.Sent),
+		Throughput:  rep.Throughput,
+		WallSeconds: rep.Wall.Seconds(),
+		P50Ms:       float64(rep.P50) / float64(time.Millisecond),
+		P95Ms:       float64(rep.P95) / float64(time.Millisecond),
+		P99Ms:       float64(rep.P99) / float64(time.Millisecond),
+	}
+	if rep.Sent > 0 {
+		w.ShedFraction = float64(rep.Shed) / float64(rep.Sent)
+	}
+	st := f.Snapshot()
+	if lookups := st.CacheHits + st.CacheMiss; lookups > 0 {
+		w.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return w, nil
+}

@@ -38,6 +38,14 @@ type benchWorkload struct {
 	Bubble       float64 `json:"bubble_fraction,omitempty"`
 	FinalLoss    float64 `json:"final_loss"`
 	WallSeconds  float64 `json:"wall_seconds"`
+
+	// Serving-workload metrics (serve-soak only). P99Ms > 0 marks a
+	// serving row for the -compare gates.
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P95Ms        float64 `json:"p95_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
+	ShedFraction float64 `json:"shed_fraction,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 type benchAllocGate struct {
@@ -114,6 +122,14 @@ func runSuite(path string) error {
 	grid := base
 	grid.PipelineStages, grid.MicroBatches, grid.PipeSchedule = 2, 4, pipeline.OneFOneB
 	ddp("2d-1f1b-2x2", grid, 2, 2)
+
+	soak, err := runServeSoak()
+	if err != nil {
+		return err
+	}
+	rep.Workloads = append(rep.Workloads, soak)
+	fmt.Printf("  %-22s %7.1f req/s      p50 %.2fms p99 %.2fms  shed %.3f  cache %.3f\n",
+		soak.Name, soak.Throughput, soak.P50Ms, soak.P99Ms, soak.ShedFraction, soak.CacheHitRate)
 
 	rep.AllocGates = append(rep.AllocGates,
 		benchAllocGate{

@@ -1,0 +1,179 @@
+// Fleet: the multi-model serving control plane in miniature. Two
+// versions of a model are published to the versioned registry, v1 is
+// deployed across two heterogeneous replica groups, a broken build is
+// canaried and auto-rolled-back by the error-rate guardrail, then v2 is
+// canaried and auto-promoted — registry, stable pointer, and replica
+// groups all swap with zero dropped requests. Along the way the router
+// spreads load by predicted latency and congestion, the result cache
+// absorbs idempotent repeats, and the autoscaler resizes the groups.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// demoBackend is a stand-in model build: it labels every input with a
+// fixed class, or fails outright when broken (a bad canary build).
+type demoBackend struct {
+	class  int
+	broken bool
+}
+
+func (b demoBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
+	if b.broken {
+		return nil, errors.New("broken build")
+	}
+	rows := batch.Dim(0)
+	out := tensor.New(rows, 4)
+	for r := 0; r < rows; r++ {
+		out.Data()[r*4+b.class] = 1
+	}
+	return out, nil
+}
+
+func main() {
+	// 1. A versioned registry on top of the crash-safe model store.
+	dir, err := os.MkdirTemp("", "fleet-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := storage.NewModelStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := fleet.NewRegistry(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// In real deployments the blob is an nn.SaveModel checkpoint; here it
+	// just names which demoBackend the factory should build.
+	for _, blob := range []string{"class:0", "class:1", "broken"} {
+		e, err := reg.Publish("demo", []byte(blob), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %s (%q)\n", e.Ref(), blob)
+	}
+
+	// 2. A fleet: two module-backed groups with different modeled speeds.
+	// The router favors the fast ESB group until its queue builds.
+	f, err := fleet.New(fleet.Config{
+		Registry: reg,
+		BackendFactory: func(_ string, blob []byte) (serve.Backend, error) {
+			switch string(blob) {
+			case "class:0":
+				return demoBackend{class: 0}, nil
+			case "class:1":
+				return demoBackend{class: 1}, nil
+			default:
+				return demoBackend{broken: true}, nil
+			}
+		},
+		Groups: []fleet.GroupSpec{
+			{Name: "cm", Kind: "CM", Replicas: 2, MinReplicas: 1, MaxReplicas: 4,
+				LatencyScore: 2e-3, PerSample: 200 * time.Microsecond},
+			{Name: "esb", Kind: "ESB", Replicas: 1, MinReplicas: 1, MaxReplicas: 4,
+				LatencyScore: 1e-3, PerSample: 100 * time.Microsecond},
+		},
+		Serve: serve.Config{MaxBatch: 8, BatchWindow: 200 * time.Microsecond,
+			QueueCap: 32, DefaultDeadline: time.Second},
+		CacheSize: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Deploy("demo"); err != nil {
+		log.Fatal(err)
+	}
+
+	sample := func(i int) *tensor.Tensor {
+		x := tensor.New(4)
+		x.Data()[0] = float64(i)
+		return x
+	}
+	// drive sends n fresh requests and reports how many failed — a broken
+	// canary leaks a bounded sliver of errors before its guardrail trips.
+	seq := 0
+	drive := func(n int) (failed int) {
+		for i := 0; i < n; i++ {
+			seq++
+			if _, err := f.Predict(context.Background(), "demo", sample(seq)); err != nil {
+				failed++
+			}
+		}
+		return failed
+	}
+	drive(200)
+	// Idempotent repeats of the same input are served from the result
+	// cache without touching a replica.
+	for i := 0; i < 10; i++ {
+		if _, err := f.PredictCached(context.Background(), "demo", sample(0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	p, _ := f.Predict(context.Background(), "demo", sample(1))
+	fmt.Printf("\nserving v1: class %d (stable %s)\n", p.Class, must(f.StableVersion("demo")).Ref())
+
+	// 3. Canary the broken build: the error-rate guardrail rolls it back
+	// before users see more than a sliver of failures.
+	canarySpec := fleet.GroupSpec{Name: "canary", Kind: "ESB", Replicas: 1,
+		PerSample: 100 * time.Microsecond}
+	if err := f.DeployCanary("demo", 3, canarySpec, fleet.CanaryPolicy{
+		WeightPct: 20, MaxErrorRate: 0.05, MinRequests: 20, PromoteAfter: 1 << 30,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	failed := drive(400)
+	rep := must(f.CanaryReport("demo"))
+	fmt.Printf("\nbad canary %s: %s after %d requests (%s)\n", rep.Version, rep.State, rep.Requests, rep.Reason)
+	fmt.Printf("blast radius: %d/400 requests failed before the rollback\n", failed)
+
+	// 4. Canary the good v2 build: sustained health promotes it — into the
+	// registry and onto every replica group, with live traffic flowing.
+	if err := f.DeployCanary("demo", 2, canarySpec, fleet.CanaryPolicy{
+		WeightPct: 30, MaxErrorRate: 0.05, MinRequests: 20, PromoteAfter: 100,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	drive(600)
+	rep = must(f.CanaryReport("demo"))
+	p, _ = f.Predict(context.Background(), "demo", sample(1))
+	fmt.Printf("good canary %s: %s after %d requests (%s)\n", rep.Version, rep.State, rep.Requests, rep.Reason)
+	fmt.Printf("now serving: class %d (stable %s, registry stable v%d)\n",
+		p.Class, must(f.StableVersion("demo")).Ref(), must(reg.Stable("demo")).Version)
+
+	// 5. The autoscaler: with the storm over, sustained underload sheds
+	// the CM group's spare replica (one per DownAfter idle ticks, never
+	// below MinReplicas), each resize a blue/green swap with a drain.
+	scaler := must(f.NewAutoscaler("demo", fleet.AutoscaleConfig{
+		SLO: fleet.SLO{P99: 50 * time.Millisecond}, DownAfter: 2, Cooldown: 1,
+	}))
+	for i := 0; i < 10; i++ {
+		for _, ev := range scaler.Tick() {
+			fmt.Printf("\nautoscaler: %s %d -> %d (%s)\n", ev.Group, ev.From, ev.To, ev.Reason)
+		}
+	}
+
+	// 6. The ledger: every request reached exactly one outcome, the cache
+	// absorbed repeats, and the groups took traffic.
+	fmt.Printf("\n%s\n", f.Snapshot())
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

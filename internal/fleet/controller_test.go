@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// waitForState polls until the canary reaches a terminal state (drains
+// finish asynchronously after the CAS transition).
+func waitForState(t *testing.T, f *Fleet, model string, want CanaryState) CanaryReport {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err := f.CanaryReport(model)
+		if err == nil && rep.State == want {
+			return rep
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canary never reached %v (last: %+v, err %v)", want, rep, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCanaryRollbackOnErrorRate deploys a canary whose build is broken;
+// the error-rate guardrail must roll it back automatically, stable must
+// keep serving v1, and the registry must be untouched.
+func TestCanaryRollbackOnErrorRate(t *testing.T) {
+	f, reg := newTestFleet(t, Config{})
+	err := f.DeployCanary("m", 2,
+		GroupSpec{Name: "canary", Kind: "ESB", Replicas: 1,
+			Backend: func([]byte) (serve.Backend, error) { return &classBackend{fail: true}, nil }},
+		CanaryPolicy{WeightPct: 50, MaxErrorRate: 0.05, MinRequests: 20, PromoteAfter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p, err := f.Predict(context.Background(), "m", testSample(float64(i)))
+		if err == nil && p.Class != 0 {
+			t.Fatalf("user saw canary class %d", p.Class)
+		}
+	}
+	rep := waitForState(t, f, "m", CanaryRolledBack)
+	if rep.ErrorRate <= 0.05 {
+		t.Fatalf("rolled back without breach: %+v", rep)
+	}
+	if rep.Reason == "" {
+		t.Fatal("rollback has no reason")
+	}
+	if s, _ := reg.Stable("m"); s.Version != 1 {
+		t.Fatalf("registry stable moved to v%d on a rolled-back canary", s.Version)
+	}
+	if f.Snapshot().Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", f.Snapshot().Rollbacks)
+	}
+	// Stable traffic unaffected after the rollback.
+	if p, err := f.Predict(context.Background(), "m", testSample(1)); err != nil || p.Class != 0 {
+		t.Fatalf("stable broken after rollback: %+v, %v", p, err)
+	}
+}
+
+// TestCanaryPromote runs a healthy canary through PromoteAfter requests:
+// the registry stable pointer must move, every stable group must roll to
+// the new version, and subsequent traffic must be served by v2.
+func TestCanaryPromote(t *testing.T) {
+	f, reg := newTestFleet(t, Config{})
+	err := f.DeployCanary("m", 2,
+		GroupSpec{Name: "canary", Kind: "ESB", Replicas: 1},
+		CanaryPolicy{WeightPct: 50, MinRequests: 10, PromoteAfter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := f.Predict(context.Background(), "m", testSample(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if rep, err := f.CanaryReport("m"); err == nil && rep.State != CanaryRunning {
+			break
+		}
+	}
+	rep := waitForState(t, f, "m", CanaryPromoted)
+	if rep.Requests < 40 {
+		t.Fatalf("promoted after only %d requests", rep.Requests)
+	}
+	if s, _ := reg.Stable("m"); s.Version != 2 {
+		t.Fatalf("registry stable = v%d, want v2", s.Version)
+	}
+	if e, _ := f.StableVersion("m"); e.Version != 2 {
+		t.Fatalf("fleet stable = v%d, want v2", e.Version)
+	}
+	// All post-promote traffic must come from the v2 build (class 1).
+	for i := 0; i < 20; i++ {
+		p, err := f.Predict(context.Background(), "m", testSample(float64(i)))
+		if err != nil || p.Class != 1 {
+			t.Fatalf("post-promote predict: %+v, %v", p, err)
+		}
+	}
+	if f.Snapshot().Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", f.Snapshot().Promotions)
+	}
+	// And the registry can roll the promote back.
+	if prev, err := reg.Rollback("m"); err != nil || prev.Version != 1 {
+		t.Fatalf("rollback after promote: %+v, %v", prev, err)
+	}
+}
+
+func TestCanaryDoubleDeployRejected(t *testing.T) {
+	f, _ := newTestFleet(t, Config{})
+	spec := GroupSpec{Name: "canary", Replicas: 1}
+	pol := CanaryPolicy{PromoteAfter: 10000}
+	if err := f.DeployCanary("m", 2, spec, pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DeployCanary("m", 2, spec, pol); err == nil {
+		t.Fatal("second concurrent canary accepted")
+	}
+}
+
+// TestShadowComparesWithoutUserImpact mirrors traffic to v2 (which
+// predicts a different class than stable v1) and checks (a) users only
+// ever see stable results, (b) the report counts full disagreement.
+func TestShadowComparesWithoutUserImpact(t *testing.T) {
+	f, _ := newTestFleet(t, Config{})
+	err := f.StartShadow("m", 2, GroupSpec{Name: "shadow", Kind: "DAM", Replicas: 1},
+		ShadowConfig{Workers: 2, Buffer: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		p, err := f.Predict(context.Background(), "m", testSample(float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Class != 0 {
+			t.Fatalf("user response came from the shadow: class %d", p.Class)
+		}
+	}
+	rep, err := f.StopShadow("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mirrored+rep.Dropped+rep.Errors != n {
+		t.Fatalf("mirror accounting: %+v (want mirrored+dropped+errors = %d)", rep, n)
+	}
+	if rep.Mirrored == 0 {
+		t.Fatalf("nothing mirrored: %+v", rep)
+	}
+	// v2 predicts class 1, stable predicts 0 — full disagreement.
+	if rep.Agreed != 0 || rep.Disagreed != rep.Mirrored {
+		t.Fatalf("agreement accounting: %+v", rep)
+	}
+	if _, err := f.StopShadow("m"); err == nil {
+		t.Fatal("double stop succeeded")
+	}
+}
+
+// TestShadowNeverBlocks wires a shadow with a tiny buffer and a slow
+// build; the user-visible path must stay fast and mirrors must be
+// dropped, not queued unboundedly.
+func TestShadowNeverBlocks(t *testing.T) {
+	f, reg := newTestFleet(t, Config{})
+	if _, err := reg.Publish("m", []byte("slow:1"), nil); err != nil { // v3
+		t.Fatal(err)
+	}
+	err := f.StartShadow("m", 3, GroupSpec{Name: "shadow", Replicas: 1},
+		ShadowConfig{Workers: 1, Buffer: 2, Deadline: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := f.Predict(context.Background(), "m", testSample(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	rep, err := f.StopShadow("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("slow shadow dropped nothing (buffer backpressure leaked to users?): %+v", rep)
+	}
+	// 100 user requests against a 5ms/sample shadow would take >500ms if
+	// the mirror path blocked; give wide CI margin.
+	if elapsed > 2*time.Second {
+		t.Fatalf("user path took %v with a slow shadow attached", elapsed)
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	f, _ := newTestFleet(t, Config{})
+	if err := f.DeployCanary("m", 2, GroupSpec{Name: "c", Replicas: 1},
+		CanaryPolicy{WeightPct: 100, MinRequests: 5, PromoteAfter: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_, _ = f.Predict(context.Background(), "m", testSample(float64(i)))
+		if rep, err := f.CanaryReport("m"); err == nil && rep.State == CanaryPromoted {
+			break
+		}
+	}
+	waitForState(t, f, "m", CanaryPromoted)
+	kinds := map[string]bool{}
+	for _, ev := range f.Events() {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"deploy", "canary-start", "canary-promote"} {
+		if !kinds[want] {
+			t.Fatalf("event log missing %q: %v", want, kinds)
+		}
+	}
+}

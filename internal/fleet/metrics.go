@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"repro/internal/telemetry"
+)
+
+// RegisterMetrics exports the fleet on reg under the msa_fleet_* prefix.
+// Everything is callback-backed (read at scrape time from the same
+// atomics the data plane updates), so registration adds zero cost to the
+// hot path. Per-group series carry {group, kind} labels and aggregate
+// across deployed models — replica counts and queue depths sum, p99
+// takes the worst deployment.
+func (f *Fleet) RegisterMetrics(reg *telemetry.Registry) {
+	counter := func(name, help string, fn func() float64, labels ...telemetry.Label) {
+		reg.CounterFunc(name, fn, labels...)
+		reg.SetHelp(name, help)
+	}
+	gauge := func(name, help string, fn func() float64, labels ...telemetry.Label) {
+		reg.GaugeFunc(name, fn, labels...)
+		reg.SetHelp(name, help)
+	}
+
+	outcomes := []struct {
+		name string
+		v    func() int64
+	}{
+		{"ok", f.served.Load},
+		{"shed", f.shed.Load},
+		{"expired", f.expired.Load},
+		{"failed", f.failed.Load},
+	}
+	for _, o := range outcomes {
+		v := o.v
+		counter("msa_fleet_requests_total", "Fleet requests by terminal outcome.",
+			func() float64 { return float64(v()) }, telemetry.Label{Key: "outcome", Value: o.name})
+	}
+	if f.cache != nil {
+		counter("msa_fleet_cache_hits_total", "Idempotent-result cache hits.",
+			func() float64 { return float64(f.cache.hits.Load()) })
+		counter("msa_fleet_cache_misses_total", "Idempotent-result cache misses.",
+			func() float64 { return float64(f.cache.misses.Load()) })
+		gauge("msa_fleet_cache_entries", "Live entries in the result cache.",
+			func() float64 { return float64(f.cache.Len()) })
+	}
+	counter("msa_fleet_rollbacks_total", "Canary deployments rolled back by guardrails.",
+		func() float64 { return float64(f.rollbacks.Load()) })
+	counter("msa_fleet_promotions_total", "Canary deployments promoted to stable.",
+		func() float64 { return float64(f.promotions.Load()) })
+
+	for _, spec := range f.cfg.Groups {
+		name := spec.Name
+		labels := []telemetry.Label{{Key: "group", Value: name}, {Key: "kind", Value: spec.Kind}}
+		gauge("msa_fleet_replicas", "Current replica count per group (summed over models).",
+			func() float64 { return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.Replicas) }) }, labels...)
+		gauge("msa_fleet_inflight", "Requests currently executing per group.",
+			func() float64 { return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.Inflight) }) }, labels...)
+		gauge("msa_fleet_queue_depth", "Admission-queue depth per group.",
+			func() float64 {
+				return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.QueueDepth) })
+			}, labels...)
+		gauge("msa_fleet_p99_seconds", "Worst per-deployment request p99 per group.",
+			func() float64 { return f.maxGroups(name, func(st GroupStats) float64 { return st.P99.Seconds() }) }, labels...)
+		counter("msa_fleet_group_served_total", "Requests served per group.",
+			func() float64 { return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.Served) }) }, labels...)
+		counter("msa_fleet_group_errors_total", "Request errors per group.",
+			func() float64 { return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.Errors) }) }, labels...)
+		counter("msa_fleet_scale_events_total", "Autoscaler resizes per group (ups + downs).",
+			func() float64 {
+				return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.ScaleUps + st.ScaleDowns) })
+			}, labels...)
+		counter("msa_fleet_drains_total", "Retired servers fully drained per group.",
+			func() float64 { return f.sumGroups(name, func(st GroupStats) float64 { return float64(st.Drains) }) }, labels...)
+	}
+}
+
+// sumGroups folds fn over every deployed group named name.
+func (f *Fleet) sumGroups(name string, fn func(GroupStats) float64) float64 {
+	var sum float64
+	f.eachGroup(name, func(st GroupStats) { sum += fn(st) })
+	return sum
+}
+
+// maxGroups takes the max of fn over every deployed group named name.
+func (f *Fleet) maxGroups(name string, fn func(GroupStats) float64) float64 {
+	var max float64
+	f.eachGroup(name, func(st GroupStats) {
+		if v := fn(st); v > max {
+			max = v
+		}
+	})
+	return max
+}
+
+func (f *Fleet) eachGroup(name string, visit func(GroupStats)) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, d := range f.deployments {
+		for _, g := range d.groups {
+			if g.spec.Name == name {
+				visit(g.stats())
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestRegistryPublishPromoteRollback(t *testing.T) {
+	reg := newTestRegistry(t)
+	e1, err := reg.Publish("mnist", []byte("class:0"), map[string]string{"acc": "0.97"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 || e1.Ref() != "mnist@v1" {
+		t.Fatalf("first publish: %+v", e1)
+	}
+	// First version auto-promotes.
+	if s, err := reg.Stable("mnist"); err != nil || s.Version != 1 {
+		t.Fatalf("stable after first publish: %+v, %v", s, err)
+	}
+	e2, err := reg.Publish("mnist", []byte("class:1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second version does not auto-promote.
+	if s, _ := reg.Stable("mnist"); s.Version != 1 {
+		t.Fatalf("stable moved without promote: %+v", s)
+	}
+	if err := reg.Promote("mnist", e2.Version); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := reg.Stable("mnist"); s.Version != 2 {
+		t.Fatalf("stable after promote: %+v", s)
+	}
+	// Rollback pops the history.
+	prev, err := reg.Rollback("mnist")
+	if err != nil || prev.Version != 1 {
+		t.Fatalf("rollback: %+v, %v", prev, err)
+	}
+	if s, _ := reg.Stable("mnist"); s.Version != 1 {
+		t.Fatalf("stable after rollback: %+v", s)
+	}
+	if _, err := reg.Rollback("mnist"); err == nil {
+		t.Fatal("rollback with empty history succeeded")
+	}
+	// Metadata round-trips.
+	if g, _ := reg.Get("mnist", 1); g.Meta["acc"] != "0.97" {
+		t.Fatalf("meta lost: %+v", g)
+	}
+	// Blob round-trips.
+	if b, err := reg.Blob(e2); err != nil || string(b) != "class:1" {
+		t.Fatalf("blob: %q, %v", b, err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := newTestRegistry(t)
+	if _, err := reg.Publish("", []byte("x"), nil); err == nil {
+		t.Fatal("empty model name accepted")
+	}
+	if _, err := reg.Publish("a@b", []byte("x"), nil); err == nil {
+		t.Fatal("model name with @ accepted")
+	}
+	if _, err := reg.Stable("ghost"); err == nil {
+		t.Fatal("stable of unknown model succeeded")
+	}
+	if err := reg.Promote("ghost", 1); err == nil {
+		t.Fatal("promote of unknown model succeeded")
+	}
+}
+
+// TestRegistryPersistence proves deployment state survives a process
+// restart: a second Registry over the same store dir recovers stable
+// pointers, history, pins, and metadata.
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.NewModelStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blob := range []string{"class:0", "class:1", "class:2"} {
+		if _, err := reg.Publish("m", []byte(blob), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Promote("m", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Pin("m", 2, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh store handle, fresh registry.
+	store2, err := storage.NewModelStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := NewRegistry(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := reg2.Stable("m"); err != nil || s.Version != 3 {
+		t.Fatalf("recovered stable: %+v, %v", s, err)
+	}
+	if prev, err := reg2.Rollback("m"); err != nil || prev.Version != 1 {
+		t.Fatalf("recovered history: %+v, %v", prev, err)
+	}
+	if e, _ := reg2.Get("m", 2); !e.Pinned {
+		t.Fatal("pin not recovered")
+	}
+	if vs := reg2.Versions("m"); len(vs) != 3 {
+		t.Fatalf("recovered %d versions, want 3", len(vs))
+	}
+}
+
+func TestRegistryGC(t *testing.T) {
+	reg := newTestRegistry(t)
+	for i := 0; i < 6; i++ {
+		if _, err := reg.Publish("m", []byte("class:0"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Promote("m", 5); err != nil { // history: [1], stable: 5
+		t.Fatal(err)
+	}
+	if err := reg.Pin("m", 2, true); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := reg.GC("m", 2) // keep v5, v6; protect v1 (history), v2 (pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0] != 3 || removed[1] != 4 {
+		t.Fatalf("GC removed %v, want [3 4]", removed)
+	}
+	for _, v := range removed {
+		if _, err := reg.Get("m", v); err == nil {
+			t.Fatalf("v%d still published after GC", v)
+		}
+	}
+	// Protected versions still loadable.
+	for _, v := range []int{1, 2, 5, 6} {
+		e, err := reg.Get("m", v)
+		if err != nil {
+			t.Fatalf("v%d gone after GC: %v", v, err)
+		}
+		if _, err := reg.Blob(e); err != nil {
+			t.Fatalf("v%d blob gone after GC: %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// StormConfig drives a fleet through a bursty diurnal traffic storm — the
+// closed-loop proof harness behind cmd/msa-fleet and storm_test.go. The
+// engine only generates traffic and measures it; the control-plane
+// scenario (canary deploys, autoscaler) is wired by the caller through
+// OnPhase, keeping the measured data path free of scenario branching.
+type StormConfig struct {
+	// Model is the deployed model to storm.
+	Model string
+	// Shape is the deterministic diurnal+burst arrival process.
+	Shape serve.ShapeConfig
+	// PhaseDur paces each phase (a phase whose arrivals outrun the fleet
+	// extends — closed-loop inside the phase, open-loop across phases).
+	PhaseDur time.Duration
+	// Workers is the concurrent sender count.
+	Workers int
+	// SLO is the objective attainment is measured against (SLO.P99 > 0).
+	SLO SLO
+	// CacheEvery issues every Nth request from a small canned input pool
+	// via PredictCached, exercising the idempotent-result cache
+	// (0 disables).
+	CacheEvery int
+	// Sample supplies the input for request i of a phase.
+	Sample func(phase, i int) *tensor.Tensor
+	// OnPhase, when non-nil, runs at the start of each phase (canary
+	// deploys, chaos injection, progress logging).
+	OnPhase func(phase int)
+}
+
+// StormReport is the client-side view of a storm run.
+type StormReport struct {
+	Sent    int64 `json:"sent"`
+	OK      int64 `json:"ok"`
+	Shed    int64 `json:"shed"`
+	Expired int64 `json:"expired"`
+	Failed  int64 `json:"failed"`
+
+	PhasePlanned []int         `json:"phase_planned"`
+	Wall         time.Duration `json:"wall_ns"`
+	Throughput   float64       `json:"throughput_rps"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// SLOAttainment is the fraction of successful responses within
+	// SLO.P99 (bucket-conservative: a response counts as attained only if
+	// its whole latency bucket is under the target).
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// RunStorm replays the shaped arrival process against the fleet. Every
+// request reaches a terminal outcome — Sent always equals
+// OK+Shed+Expired+Failed on return, which is the storm's zero-dropped
+// invariant (the test asserts it against the fleet's own accounting too).
+func (f *Fleet) RunStorm(cfg StormConfig) StormReport {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	counts := cfg.Shape.ArrivalCounts()
+	var sent, ok, shed, expired, failed atomic.Int64
+	var lat telemetry.Histogram
+
+	// Canned inputs for the idempotent-cache path: a tiny pool asked over
+	// and over, so repeats hit the cache.
+	var pool []*tensor.Tensor
+	if cfg.CacheEvery > 0 {
+		for i := 0; i < 8; i++ {
+			pool = append(pool, cfg.Sample(0, i))
+		}
+	}
+
+	start := time.Now()
+	for p, n := range counts {
+		if cfg.OnPhase != nil {
+			cfg.OnPhase(p)
+		}
+		phaseEnd := start.Add(time.Duration(p+1) * cfg.PhaseDur)
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					sent.Add(1)
+					var err error
+					reqStart := time.Now()
+					if cfg.CacheEvery > 0 && i%cfg.CacheEvery == 0 {
+						_, err = f.PredictCached(context.Background(), cfg.Model, pool[i%len(pool)])
+					} else {
+						_, err = f.Predict(context.Background(), cfg.Model, cfg.Sample(p, i))
+					}
+					switch {
+					case err == nil:
+						lat.Observe(time.Since(reqStart))
+						ok.Add(1)
+					case isShed(err):
+						shed.Add(1)
+					case isExpired(err):
+						expired.Add(1)
+					default:
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if d := time.Until(phaseEnd); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	wall := time.Since(start)
+
+	rep := StormReport{
+		Sent: sent.Load(), OK: ok.Load(), Shed: shed.Load(),
+		Expired: expired.Load(), Failed: failed.Load(),
+		PhasePlanned: counts, Wall: wall,
+		P50: lat.Quantile(0.50), P95: lat.Quantile(0.95), P99: lat.Quantile(0.99),
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.OK) / wall.Seconds()
+	}
+	if cfg.SLO.P99 > 0 && rep.OK > 0 {
+		var within int64
+		for i, c := range lat.BucketCounts() {
+			if telemetry.BucketUpperBound(i) <= cfg.SLO.P99 {
+				within += c
+			}
+		}
+		rep.SLOAttainment = float64(within) / float64(rep.OK)
+	}
+	return rep
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
+	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,145 @@ type LoadReport struct {
 	Wall    time.Duration
 	// Throughput is successful responses per second of wall time.
 	Throughput float64
+}
+
+// ShapeConfig describes a bursty diurnal arrival process, phase by
+// phase: a sinusoidal base rate (the day/night swing of a million-user
+// serving fleet) with seeded Poisson noise per phase and occasional
+// Poisson bursts (flash crowds) on top. The generated counts are a pure
+// function of the config — the storm scenario replays identical traffic
+// across runs, and tests pin exact per-phase counts.
+type ShapeConfig struct {
+	// BaseRate is the mean arrivals per phase at the diurnal midline.
+	BaseRate float64
+	// Amplitude in [0,1] is the sinusoidal swing: phase p's mean rate is
+	// BaseRate·(1 + Amplitude·sin(2πp/Period)).
+	Amplitude float64
+	// Period is the number of phases per diurnal cycle (default 24).
+	Period int
+	// BurstProb is the per-phase probability of a flash-crowd burst.
+	BurstProb float64
+	// BurstMean is the mean extra arrivals a burst adds (Poisson).
+	BurstMean float64
+	// Phases is how many phases to generate.
+	Phases int
+	// Seed makes the arrival sequence reproducible.
+	Seed int64
+}
+
+// ArrivalCounts generates the per-phase arrival counts for the shape:
+// deterministic for a given config, Poisson-distributed around the
+// sinusoidal rate, with bursts superimposed.
+func (c ShapeConfig) ArrivalCounts() []int {
+	period := c.Period
+	if period <= 0 {
+		period = 24
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	counts := make([]int, c.Phases)
+	for p := range counts {
+		lambda := c.BaseRate * (1 + c.Amplitude*math.Sin(2*math.Pi*float64(p)/float64(period)))
+		if lambda < 0 {
+			lambda = 0
+		}
+		n := poisson(rng, lambda)
+		if c.BurstProb > 0 && rng.Float64() < c.BurstProb {
+			n += poisson(rng, c.BurstMean)
+		}
+		counts[p] = n
+	}
+	return counts
+}
+
+// poisson draws a Poisson variate: Knuth's product method for small
+// lambda, a (clamped) normal approximation beyond it — the storm runs at
+// lambda in the tens of thousands, where exact inversion is pointless.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 64 {
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}
+
+// ShapedReport is the client-side view of one shaped (open-ish loop)
+// load run: per-phase issued counts plus the terminal-outcome totals.
+type ShapedReport struct {
+	LoadReport
+	PhasePlanned []int
+}
+
+// RunShaped drives s with the shaped arrival process: each phase issues
+// its planned arrival count through `workers` concurrent senders, pacing
+// phases to phaseDur (a phase whose arrivals outrun the server simply
+// extends — closed-loop backpressure inside the phase, open-loop shape
+// across phases). sample(phase, i) supplies request inputs.
+func RunShaped(s *Server, shape ShapeConfig, phaseDur time.Duration, workers int, sample func(phase, i int) *tensor.Tensor) ShapedReport {
+	if workers < 1 {
+		workers = 1
+	}
+	counts := shape.ArrivalCounts()
+	var sent, ok, shed, expired, failed atomic.Int64
+	start := time.Now()
+	for p, n := range counts {
+		phaseEnd := start.Add(time.Duration(p+1) * phaseDur)
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					sent.Add(1)
+					_, err := s.Predict(context.Background(), sample(p, i))
+					switch {
+					case err == nil:
+						ok.Add(1)
+					case errors.Is(err, ErrOverloaded):
+						shed.Add(1)
+					case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+						expired.Add(1)
+					default:
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if d := time.Until(phaseEnd); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	wall := time.Since(start)
+	rep := ShapedReport{
+		LoadReport: LoadReport{
+			Sent: sent.Load(), OK: ok.Load(), Shed: shed.Load(),
+			Expired: expired.Load(), Failed: failed.Load(), Wall: wall,
+		},
+		PhasePlanned: counts,
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.OK) / wall.Seconds()
+	}
+	return rep
 }
 
 // RunClosedLoop runs the load against s, sampling request inputs via

@@ -54,12 +54,36 @@ func (s *ModelStore) Save(name string, m *nn.Sequential) error {
 // temp-file + rename protocol as Save. This is the path fault-tolerant
 // training uses: its blobs carry optimizer state and step counters on top
 // of the model, so the store must not care about the payload format.
+//
+// The temp file is uniquely named (os.CreateTemp) and fsynced before the
+// rename: a fixed ".tmp" path lets two concurrent saves of the same name
+// interleave writes into one file and publish the torn result, and an
+// unsynced rename can commit an empty file across a crash. With both
+// fixed, a concurrent Blob/LoadInto observes either the old or the new
+// checkpoint in full — never a partial one (the fleet registry publishes
+// versions through this guarantee).
 func (s *ModelStore) SaveBlob(name string, blob []byte) error {
-	tmp := s.path(name) + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return fmt.Errorf("storage: writing checkpoint %s: %w", name, err)
+	f, err := os.CreateTemp(s.Dir, filepath.Base(name)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("storage: creating temp for checkpoint %s: %w", name, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		return cleanup(fmt.Errorf("storage: writing checkpoint %s: %w", name, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("storage: syncing checkpoint %s: %w", name, err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("storage: closing checkpoint %s: %w", name, err))
 	}
 	if err := os.Rename(tmp, s.path(name)); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("storage: committing checkpoint %s: %w", name, err)
 	}
 	return nil

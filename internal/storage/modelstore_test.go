@@ -1,8 +1,13 @@
 package storage
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/nn"
@@ -122,5 +127,80 @@ func TestModelStoreBlobLifecycle(t *testing.T) {
 	blob, _ = store.Blob("ft-0000000040")
 	if string(blob) != "v2" {
 		t.Fatalf("overwrite lost: %q", blob)
+	}
+}
+
+// TestModelStoreConcurrentSaveLoad hammers one checkpoint name with
+// concurrent writers (distinct payloads) and readers: every read must
+// observe exactly one writer's payload in full — never a torn mix, never
+// a partial file. This is the crash-safety contract the fleet registry
+// leans on when a publish races a replica warm-up read.
+func TestModelStoreConcurrentSaveLoad(t *testing.T) {
+	store, err := NewModelStore(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, rounds = 4, 4, 50
+	// Each writer's payload is self-identifying: 4 KiB of its own tag, so
+	// a torn read (half one writer, half another) is detectable.
+	payload := func(w int) []byte {
+		return bytes.Repeat([]byte(fmt.Sprintf("writer-%d|", w)), 512)
+	}
+	if err := store.SaveBlob("hot", payload(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := payload(w)
+			for i := 0; i < rounds; i++ {
+				if err := store.SaveBlob("hot", p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				blob, err := store.Blob("hot")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(blob) != 512*len("writer-0|") {
+					errs <- fmt.Errorf("torn read: %d bytes", len(blob))
+					return
+				}
+				first := string(blob[:len("writer-0|")])
+				if !bytes.Equal(blob, bytes.Repeat([]byte(first), 512)) {
+					errs <- fmt.Errorf("mixed payloads in one read (starts %q)", first)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// No temp-file litter from the racing saves.
+	entries, err := os.ReadDir(store.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
 	}
 }

@@ -51,6 +51,9 @@ const (
 	// CatRecovery marks failure detection, world revocation, and elastic
 	// restart work in the ft supervisor.
 	CatRecovery Category = "recovery"
+	// CatFleet marks fleet control-plane transitions (canary rollbacks,
+	// promotions, scale events, drains) and routed requests.
+	CatFleet Category = "fleet"
 )
 
 // SpanKind marks a span as a causally matchable communication event.
