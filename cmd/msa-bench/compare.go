@@ -115,6 +115,25 @@ func compareReports(oldRep, newRep *benchReport, opts compareOpts, w io.Writer) 
 					old.Name, old.OverlapRatio, cur.OverlapRatio, opts.tolFraction)
 			}
 		}
+		// Kernel rows gate on absolute GFLOP/s (relative tolerance, hosts
+		// jitter) and on speedup-vs-reference, which is host-independent
+		// and must never fall below 1: that would mean the optimized
+		// kernel lost to the naive one.
+		if old.GFLOPS > 0 || cur.GFLOPS > 0 {
+			row(old.Name, "GFLOP/s", old.GFLOPS, cur.GFLOPS)
+			if old.GFLOPS > 0 && cur.GFLOPS < old.GFLOPS*(1-opts.tolThroughput) {
+				fail("%s: %.2f -> %.2f GFLOP/s (allowed drop %.0f%%)",
+					old.Name, old.GFLOPS, cur.GFLOPS, opts.tolThroughput*100)
+			}
+			row(old.Name, "speedup", old.Speedup, cur.Speedup)
+			if old.Speedup > 0 && cur.Speedup < old.Speedup*(1-opts.tolThroughput) {
+				fail("%s: speedup %.1fx -> %.1fx (allowed drop %.0f%%)",
+					old.Name, old.Speedup, cur.Speedup, opts.tolThroughput*100)
+			}
+			if cur.GFLOPS > 0 && cur.Speedup < 1 {
+				fail("%s: optimized kernel slower than naive reference (%.2fx)", old.Name, cur.Speedup)
+			}
+		}
 		// Serving rows carry latency/shed/cache gates too.
 		if old.P99Ms > 0 || cur.P99Ms > 0 {
 			row(old.Name, "p99_ms", old.P99Ms, cur.P99Ms)

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -40,8 +41,12 @@ func main() {
 	tolLatency := flag.Float64("tol-latency", defTol.tolLatency, "allowed relative serving p99 growth for -compare")
 	tolShed := flag.Float64("tol-shed", defTol.tolShed, "allowed absolute shed-fraction worsening for -compare")
 	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /debug/pprof) at host:port while running")
+	kernelWorkers := flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *kernelWorkers > 0 {
+		tensor.Configure(tensor.WithWorkers(*kernelWorkers))
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "msa-bench: -compare needs exactly two report paths: <baseline.json> <new.json>")

@@ -46,6 +46,15 @@ type benchWorkload struct {
 	P99Ms        float64 `json:"p99_ms,omitempty"`
 	ShedFraction float64 `json:"shed_fraction,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+
+	// Kernel-benchmark metrics (kernel-* rows only). GFLOPS > 0 marks a
+	// kernel row for the -compare gates: absolute GFLOP/s compares with
+	// the throughput tolerance, and Speedup (optimized vs the naive
+	// reference kernel on the same host, so host speed divides out) must
+	// never fall below 1.
+	GFLOPS    float64 `json:"gflops,omitempty"`
+	RefGFLOPS float64 `json:"ref_gflops,omitempty"`
+	Speedup   float64 `json:"speedup_vs_ref,omitempty"`
 }
 
 type benchAllocGate struct {
@@ -123,6 +132,12 @@ func runSuite(path string) error {
 	grid.PipelineStages, grid.MicroBatches, grid.PipeSchedule = 2, 4, pipeline.OneFOneB
 	ddp("2d-1f1b-2x2", grid, 2, 2)
 
+	for _, w := range kernelRows() {
+		rep.Workloads = append(rep.Workloads, w)
+		fmt.Printf("  %-22s %7.2f GFLOP/s    ref %.2f  speedup %.1fx\n",
+			w.Name, w.GFLOPS, w.RefGFLOPS, w.Speedup)
+	}
+
 	soak, err := runServeSoak()
 	if err != nil {
 		return err
@@ -152,6 +167,68 @@ func runSuite(path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// secsPerOp times fn, repeating until minTime has elapsed (at least one
+// run), and returns seconds per call.
+func secsPerOp(minTime time.Duration, fn func()) float64 {
+	iters, elapsed := 0, time.Duration(0)
+	for elapsed < minTime {
+		t0 := time.Now()
+		fn()
+		elapsed += time.Since(t0)
+		iters++
+	}
+	return elapsed.Seconds() / float64(iters)
+}
+
+// kernelRows benchmarks the tensor kernels against their naive reference
+// implementations. Speedup is host-independent (same machine runs both),
+// which is what the -compare gate pins: the optimized kernel must never
+// drop below the reference, and must not lose its margin.
+func kernelRows() []benchWorkload {
+	rng := rand.New(rand.NewSource(21))
+	rows := make([]benchWorkload, 0, 3)
+	add := func(name string, flops float64, opt, ref func()) {
+		s := secsPerOp(150*time.Millisecond, opt)
+		r := secsPerOp(150*time.Millisecond, ref)
+		w := benchWorkload{
+			Name: name, Workers: tensor.Workers(), Steps: 1,
+			GFLOPS: flops / s / 1e9, RefGFLOPS: flops / r / 1e9,
+			WallSeconds: s,
+		}
+		if w.RefGFLOPS > 0 {
+			w.Speedup = w.GFLOPS / w.RefGFLOPS
+		}
+		rows = append(rows, w)
+	}
+
+	const n = 512
+	a := tensor.Randn(rng, 1, n, n)
+	b := tensor.Randn(rng, 1, n, n)
+	out := tensor.New(n, n)
+	mmFlops := 2 * float64(n) * float64(n) * float64(n)
+	add("kernel-matmul-512", mmFlops,
+		func() { tensor.MatMulInto(out, a, b) },
+		func() { tensor.RefMatMulInto(out, a, b) })
+
+	a32, b32 := a.Convert(tensor.Float32), b.Convert(tensor.Float32)
+	out32 := tensor.NewOf(tensor.Float32, n, n)
+	add("kernel-matmul-512-f32", mmFlops,
+		func() { tensor.MatMulInto(out32, a32, b32) },
+		func() { tensor.RefMatMulInto(out32, a32, b32) })
+
+	const cn, cc, ch, cw, outC, k = 8, 8, 32, 32, 16, 3
+	img := tensor.Randn(rng, 1, cn, cc, ch, cw)
+	wt := tensor.Randn(rng, 1, cc*k*k, outC)
+	bias := tensor.Randn(rng, 1, outC)
+	cOut := tensor.New(cn, outC, ch, cw)
+	convFlops := 2 * float64(cn) * float64(outC) * float64(ch) * float64(cw) * float64(cc) * float64(k) * float64(k)
+	add("kernel-conv3x3", convFlops,
+		func() { tensor.Conv2DBiasInto(nil, cOut, img, wt, bias, k, k, 1, 1, 1) },
+		func() { tensor.RefConv2DInto(cOut, img, wt, bias, k, k, 1, 1) })
+
+	return rows
 }
 
 func schedName(cfg core.DDPConfig) string {

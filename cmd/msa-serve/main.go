@@ -52,7 +52,11 @@ func main() {
 	slowmo := flag.Float64("slowmo", 50, "slow-motion factor: modeled service times are multiplied by this so the laptop-scale real forward pass is negligible next to them; ratios between cells are unaffected")
 	seed := flag.Int64("seed", 1, "global seed")
 	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /debug/pprof /healthz) at host:port during the sweep")
+	kernelWorkers := flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = GOMAXPROCS; set low when many replicas share the host)")
 	flag.Parse()
+	if *kernelWorkers > 0 {
+		tensor.Configure(tensor.WithWorkers(*kernelWorkers))
+	}
 	if *slowmo <= 0 {
 		fatal(fmt.Errorf("-slowmo must be > 0 (got %g)", *slowmo))
 	}
@@ -195,7 +199,7 @@ func main() {
 		fatal(err)
 	}
 	logits := probsModel.Forward(ds.X, false)
-	probs := nn.ApplyActivation(logits, nn.ActSigmoid)
+	probs := nn.Activate(nil, logits, nn.ActSigmoid)
 	top := distdl.TopK(rowSlice(probs, 0), 3)
 	fmt.Printf("\nsample 0 top-3 classes (multi-label confidence): %v\n", top)
 }

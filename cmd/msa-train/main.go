@@ -20,6 +20,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/causal"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -41,8 +42,12 @@ func main() {
 	virtual := flag.Int("virtual-chunks", 0, "model chunks per stage (0 = schedule default: 1 gpipe, 2 1f1b)")
 	seed := flag.Int64("seed", 1, "global seed")
 	serveAddr := flag.String("serve", "", "serve the live observability endpoint (/metrics /trace /breakdown /debug/pprof /healthz) at host:port during the run")
+	kernelWorkers := flag.Int("kernel-workers", 0, "goroutines per tensor kernel (0 = GOMAXPROCS; set low when -workers ranks already saturate the host)")
 	flag.Parse()
 
+	if *kernelWorkers > 0 {
+		tensor.Configure(tensor.WithWorkers(*kernelWorkers))
+	}
 	sched, err := pipeline.ParseSchedule(*pipeSched)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msa-train: %v\n", err)

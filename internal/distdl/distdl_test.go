@@ -681,7 +681,7 @@ func TestElasticRestart(t *testing.T) {
 func TestDistributedPredictMatchesLocal(t *testing.T) {
 	x, _, _ := synthClassification(31, 23, 4)
 	// Local reference: one model, full batch, softmax probabilities.
-	ref := nn.ApplyActivation(buildModel(99).Forward(x, false), nn.ActSoftmax)
+	ref := nn.Activate(nil, buildModel(99).Forward(x, false), nn.ActSoftmax)
 
 	for _, p := range []int{1, 2, 3, 4} {
 		w := mpi.NewWorld(p)

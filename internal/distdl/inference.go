@@ -55,7 +55,7 @@ func DistributedPredict(c mpi.Communicator, model *nn.Sequential, xs *tensor.Ten
 		ws.ReleaseAll()
 		mws.ReleaseAll()
 		bx := gatherRowsInto(ws.Get(append([]int{len(ids)}, rowShape...)...), xs, ids)
-		out := nn.ApplyActivationWS(ws, model.Forward(bx, false), act)
+		out := nn.Activate(ws, model.Forward(bx, false), act)
 		if local == nil {
 			local = make([]float64, 0, (hi-lo)*out.Dim(1))
 		}

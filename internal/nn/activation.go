@@ -19,17 +19,16 @@ const (
 	ActIdentity                   // raw scores, no mapping
 )
 
-// ApplyActivation converts a (N, classes) logit matrix to probabilities.
-// Argmax is preserved for every choice (softmax and sigmoid are monotone),
-// so classification decisions are activation-independent.
-func ApplyActivation(logits *tensor.Tensor, act Activation) *tensor.Tensor {
-	return ApplyActivationWS(nil, logits, act)
-}
-
-// ApplyActivationWS is ApplyActivation with the probability matrix borrowed
-// from ws (allocated fresh when ws is nil). For ActIdentity the input is
-// returned unchanged, never a borrow.
-func ApplyActivationWS(ws *tensor.Workspace, logits *tensor.Tensor, act Activation) *tensor.Tensor {
+// Activate converts a (N, classes) logit matrix to probabilities, with
+// the output borrowed from ws (allocated fresh when ws is nil). For
+// ActIdentity the input is returned unchanged, never a borrow. Argmax is
+// preserved for every choice (softmax and sigmoid are monotone), so
+// classification decisions are activation-independent.
+//
+// This is the single kernel entry point for final-layer activations; the
+// former ApplyActivation/ApplyActivationWS pair are thin deprecated
+// wrappers over it.
+func Activate(ws *tensor.Workspace, logits *tensor.Tensor, act Activation) *tensor.Tensor {
 	switch act {
 	case ActSoftmax:
 		return tensor.SoftmaxRowsInto(ws.Get(logits.Shape()...), logits)
@@ -38,4 +37,18 @@ func ApplyActivationWS(ws *tensor.Workspace, logits *tensor.Tensor, act Activati
 	default:
 		return logits
 	}
+}
+
+// ApplyActivation converts logits to probabilities with fresh allocation.
+//
+// Deprecated: use Activate(nil, logits, act).
+func ApplyActivation(logits *tensor.Tensor, act Activation) *tensor.Tensor {
+	return Activate(nil, logits, act)
+}
+
+// ApplyActivationWS converts logits to probabilities via ws.
+//
+// Deprecated: use Activate.
+func ApplyActivationWS(ws *tensor.Workspace, logits *tensor.Tensor, act Activation) *tensor.Tensor {
+	return Activate(ws, logits, act)
 }

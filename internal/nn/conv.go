@@ -38,56 +38,30 @@ func NewConv2D(rng *rand.Rand, name string, inC, outC, k, stride, pad int) *Conv
 	}
 }
 
-// Forward lowers the input with im2col and multiplies by the filter bank.
+// Forward computes the convolution. The training path lowers the input
+// with im2col (Backward consumes the cached column matrix) and runs the
+// fused matmul+bias kernel; stride-1 inference skips the lowering
+// entirely and runs the direct fused conv kernel.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.inShape = append(c.inShape[:0], x.Shape()...)
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	c.batchSize = n
 	c.outH = tensor.ConvDims(h, c.KH, c.Stride, c.PadH)
 	c.outW = tensor.ConvDims(w, c.KW, c.Stride, c.PadW)
+	if !train && c.Stride == 1 {
+		c.cols = nil // inference: no backward, no cached columns
+		out := c.ws.Get(n, c.OutC, c.outH, c.outW)
+		return tensor.Conv2DBiasInto(c.ws, out, x, c.W.Value, c.B.Value, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
+	}
 	rows := n * c.outH * c.outW
 	c.cols = tensor.Im2ColInto(c.ws.Get(rows, c.InC*c.KH*c.KW), x, c.KH, c.KW, c.Stride, c.PadH, c.PadW)
 	flat := c.ws.Get(rows, c.OutC) // (N·OH·OW, OutC)
-	tensor.MatMulInto(flat, c.cols, c.W.Value)
-	flat.AddRowVector(c.B.Value)
+	tensor.MatMulBiasInto(flat, c.cols, c.W.Value, c.B.Value)
 	// Rearrange (N·OH·OW, OutC) → (N, OutC, OH, OW).
 	out := c.ws.Get(n, c.OutC, c.outH, c.outW)
-	c.scatterToNCHW(flat, out)
+	tensor.ScatterNCHWInto(out, flat)
 	c.ws.Put(flat)
 	return out
-}
-
-// scatterToNCHW converts the matmul layout to channel-major images.
-func (c *Conv2D) scatterToNCHW(flat, out *tensor.Tensor) {
-	n, oc, oh, ow := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
-	fd, od := flat.Data(), out.Data()
-	for b := 0; b < n; b++ {
-		for y := 0; y < oh; y++ {
-			for x := 0; x < ow; x++ {
-				row := ((b*oh+y)*ow + x) * oc
-				for ch := 0; ch < oc; ch++ {
-					od[((b*oc+ch)*oh+y)*ow+x] = fd[row+ch]
-				}
-			}
-		}
-	}
-}
-
-// gatherFromNCHW is the inverse of scatterToNCHW, writing into flat.
-func (c *Conv2D) gatherFromNCHW(flat, img *tensor.Tensor) *tensor.Tensor {
-	n, oc, oh, ow := img.Dim(0), img.Dim(1), img.Dim(2), img.Dim(3)
-	id, fd := img.Data(), flat.Data()
-	for b := 0; b < n; b++ {
-		for y := 0; y < oh; y++ {
-			for x := 0; x < ow; x++ {
-				row := ((b*oh+y)*ow + x) * oc
-				for ch := 0; ch < oc; ch++ {
-					fd[row+ch] = id[((b*oc+ch)*oh+y)*ow+x]
-				}
-			}
-		}
-	}
-	return flat
 }
 
 // Backward computes filter/bias gradients and the input gradient via the
@@ -95,11 +69,8 @@ func (c *Conv2D) gatherFromNCHW(flat, img *tensor.Tensor) *tensor.Tensor {
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	rows := c.batchSize * c.outH * c.outW
 	dflat := c.ws.Get(rows, c.OutC) // (N·OH·OW, OutC)
-	c.gatherFromNCHW(dflat, dout)
-	dW := c.ws.Get(c.W.Value.Shape()...)
-	tensor.TMatMulInto(dW, c.cols, dflat)
-	c.W.Grad.AddInPlace(dW)
-	c.ws.Put(dW)
+	tensor.GatherNCHWInto(dflat, dout)
+	tensor.TMatMulAccInto(c.W.Grad, c.cols, dflat)
 	dB := c.ws.Get(c.B.Value.Shape()...)
 	tensor.SumAxis0Into(dB, dflat)
 	c.B.Grad.AddInPlace(dB)

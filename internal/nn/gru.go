@@ -55,10 +55,6 @@ func NewGRU(rng *rand.Rand, name string, d, h int) *GRU {
 	}
 }
 
-func sigmoidInPlace(t *tensor.Tensor) *tensor.Tensor {
-	return t.ApplyInPlace(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-}
-
 // Forward runs the recurrence over all T steps and returns (N, T, H).
 func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NDim() != 3 || x.Dim(2) != g.D {
@@ -75,8 +71,9 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	h := g.ws.Get(n, g.H) // h_0 = 0
 	g.hs = append(g.hs, h)
 	out := g.ws.Get(n, t, g.H)
-	// tmp holds each gate's recurrent matmul before it is accumulated; it
-	// cycles through the pool once per gate per timestep.
+	// Each gate is two fused kernel calls: the input matmul, then the
+	// recurrent matmul accumulated on top with the bias add and gate
+	// activation folded into its epilogue — no per-gate temporaries.
 	for step := 0; step < t; step++ {
 		xt := sliceTimeInto(g.ws.Get(n, g.D), x, step)
 		g.xs = append(g.xs, xt)
@@ -84,33 +81,18 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 		z := g.ws.Get(n, g.H)
 		tensor.MatMulInto(z, xt, g.Wxz.Value)
-		tmp := g.ws.Get(n, g.H)
-		tensor.MatMulInto(tmp, hPrev, g.Whz.Value)
-		z.AddInPlace(tmp)
-		g.ws.Put(tmp)
-		z.AddRowVector(g.Bz.Value)
-		sigmoidInPlace(z)
+		tensor.MatMulAccBiasActInto(z, hPrev, g.Whz.Value, g.Bz.Value, tensor.EpSigmoid)
 
 		r := g.ws.Get(n, g.H)
 		tensor.MatMulInto(r, xt, g.Wxr.Value)
-		tmp = g.ws.Get(n, g.H)
-		tensor.MatMulInto(tmp, hPrev, g.Whr.Value)
-		r.AddInPlace(tmp)
-		g.ws.Put(tmp)
-		r.AddRowVector(g.Br.Value)
-		sigmoidInPlace(r)
+		tensor.MatMulAccBiasActInto(r, hPrev, g.Whr.Value, g.Br.Value, tensor.EpSigmoid)
 
 		rh := g.ws.Get(n, g.H)
 		tensor.MulInto(rh, r, hPrev)
 		hh := g.ws.Get(n, g.H)
 		tensor.MatMulInto(hh, xt, g.Wxh.Value)
-		tmp = g.ws.Get(n, g.H)
-		tensor.MatMulInto(tmp, rh, g.Whh.Value)
-		hh.AddInPlace(tmp)
-		g.ws.Put(tmp)
+		tensor.MatMulAccBiasActInto(hh, rh, g.Whh.Value, g.Bh.Value, tensor.EpTanh)
 		g.ws.Put(rh)
-		hh.AddRowVector(g.Bh.Value)
-		hh.ApplyInPlace(math.Tanh)
 
 		hNew := g.ws.Get(n, g.H)
 		hd, zd, hhd, hpd := hNew.Data(), z.Data(), hh.Data(), hPrev.Data()
@@ -134,21 +116,11 @@ func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	dx := g.ws.Get(n, t, g.D)
 	dhNext := g.ws.Get(n, g.H)
 
-	// accumulate computes tmp = aᵀ×b (TMatMul) or a×bᵀ (MatMulT) into a
-	// pooled buffer and folds it into dst, matching the allocating path's
-	// dst.AddInPlace(tensor.TMatMul(a, b)) float-for-float.
-	addTMatMul := func(dst, a, b *tensor.Tensor) {
-		tmp := g.ws.Get(dst.Shape()...)
-		tensor.TMatMulInto(tmp, a, b)
-		dst.AddInPlace(tmp)
-		g.ws.Put(tmp)
-	}
-	addMatMulT := func(dst, a, b *tensor.Tensor) {
-		tmp := g.ws.Get(dst.Shape()...)
-		tensor.MatMulTInto(tmp, a, b)
-		dst.AddInPlace(tmp)
-		g.ws.Put(tmp)
-	}
+	// Gradient matmuls accumulate straight into their destinations via the
+	// fused Acc kernels; only the bias reduction still stages through a
+	// pooled buffer.
+	addTMatMul := func(dst, a, b *tensor.Tensor) { tensor.TMatMulAccInto(dst, a, b) }
+	addMatMulT := func(dst, a, b *tensor.Tensor) { tensor.MatMulTAccInto(dst, a, b) }
 	addSumAxis0 := func(dst, a *tensor.Tensor) {
 		tmp := g.ws.Get(dst.Shape()...)
 		tensor.SumAxis0Into(tmp, a)

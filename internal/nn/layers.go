@@ -28,21 +28,18 @@ func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
 	}
 }
 
-// Forward computes xW + b.
+// Forward computes xW + b with the bias add fused into the matmul
+// epilogue.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.x = x
 	y := d.ws.Get(x.Dim(0), d.W.Value.Dim(1))
-	tensor.MatMulInto(y, x, d.W.Value)
-	y.AddRowVector(d.B.Value)
+	tensor.MatMulBiasInto(y, x, d.W.Value, d.B.Value)
 	return y
 }
 
 // Backward accumulates dW = xᵀ·dout, db = Σ dout and returns dout·Wᵀ.
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dW := d.ws.Get(d.W.Value.Shape()...)
-	tensor.TMatMulInto(dW, d.x, dout)
-	d.W.Grad.AddInPlace(dW)
-	d.ws.Put(dW)
+	tensor.TMatMulAccInto(d.W.Grad, d.x, dout)
 	dB := d.ws.Get(d.B.Value.Shape()...)
 	tensor.SumAxis0Into(dB, dout)
 	d.B.Grad.AddInPlace(dB)

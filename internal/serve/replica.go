@@ -97,7 +97,7 @@ func (b *ModelBackend) Infer(batch *tensor.Tensor) (*tensor.Tensor, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.ws.ReleaseAll()
-	return nn.ApplyActivationWS(b.ws, b.model.Forward(batch, false), b.act), nil
+	return nn.Activate(b.ws, b.model.Forward(batch, false), b.act), nil
 }
 
 // ModeledBackend wraps a backend with the modeled MSA service time of the

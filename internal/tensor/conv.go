@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ConvDims computes output spatial size for a convolution/pooling window.
 func ConvDims(in, kernel, stride, pad int) int {
@@ -41,40 +44,54 @@ func Im2ColInto(cols, img *Tensor, kh, kw, stride, padH, padW int) *Tensor {
 	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Im2ColInto output shape %v, want (%d,%d)", cols.shape, n*oh*ow, c*kh*kw))
 	}
-	// Padding windows leave untouched cells; clear them up front so a
-	// recycled buffer matches a freshly allocated one exactly.
-	cols.Zero()
-	colRow := 0
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*stride - padH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*stride - padW
-				dst := cols.data[colRow*c*kh*kw : (colRow+1)*c*kh*kw]
-				di := 0
-				for ch := 0; ch < c; ch++ {
-					base := ((b*c + ch) * h) * w
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							di += kw
-							continue
-						}
-						rowBase := base + iy*w
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix >= 0 && ix < w {
-								dst[di] = img.data[rowBase+ix]
-							}
-							di++
-						}
+	rows := n * oh * ow
+	cost := 2 * c * kh * kw
+	if shouldPar(rows, cost) {
+		cd, id := cols.data, img.data
+		ParallelFor(rows, cost, func(lo, hi int) {
+			im2colRows(cd, id, c, h, w, oh, ow, kh, kw, stride, padH, padW, lo, hi)
+		})
+	} else {
+		im2colRows(cols.data, img.data, c, h, w, oh, ow, kh, kw, stride, padH, padW, 0, rows)
+	}
+	return cols
+}
+
+// im2colRows lowers column-matrix rows [lo,hi). Each row is fully
+// overwritten (padding cells written as explicit zeros), so rows are
+// independent and a recycled buffer matches a fresh one exactly.
+func im2colRows(cols, img []float64, c, h, w, oh, ow, kh, kw, stride, padH, padW, lo, hi int) {
+	for colRow := lo; colRow < hi; colRow++ {
+		b := colRow / (oh * ow)
+		rem := colRow % (oh * ow)
+		iy0 := (rem/ow)*stride - padH
+		ix0 := (rem%ow)*stride - padW
+		dst := cols[colRow*c*kh*kw : (colRow+1)*c*kh*kw]
+		di := 0
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for ky := 0; ky < kh; ky++ {
+				iy := iy0 + ky
+				if iy < 0 || iy >= h {
+					for kx := 0; kx < kw; kx++ {
+						dst[di] = 0
+						di++
 					}
+					continue
 				}
-				colRow++
+				rowBase := base + iy*w
+				for kx := 0; kx < kw; kx++ {
+					ix := ix0 + kx
+					if ix >= 0 && ix < w {
+						dst[di] = img[rowBase+ix]
+					} else {
+						dst[di] = 0
+					}
+					di++
+				}
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im scatters a column matrix (as produced by Im2Col) back into an
@@ -99,14 +116,34 @@ func Col2ImInto(img, cols *Tensor, kh, kw, stride, padH, padW int) *Tensor {
 	if cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d,%d) k=%dx%d", cols.shape, n, c, h, w, kh, kw))
 	}
-	img.Zero()
-	colRow := 0
-	for b := 0; b < n; b++ {
+	// Overlapping windows accumulate, but only within one batch image —
+	// so the scatter parallelizes over the batch axis, each worker owning
+	// a disjoint (C,H,W) slab that it zeroes itself.
+	cost := 2 * oh * ow * c * kh * kw
+	if shouldPar(n, cost) {
+		id, cd := img.data, cols.data
+		ParallelFor(n, cost, func(lo, hi int) {
+			col2imBatches(id, cd, c, h, w, oh, ow, kh, kw, stride, padH, padW, lo, hi)
+		})
+	} else {
+		col2imBatches(img.data, cols.data, c, h, w, oh, ow, kh, kw, stride, padH, padW, 0, n)
+	}
+	return img
+}
+
+// col2imBatches scatters cols back into batch images [lo,hi).
+func col2imBatches(img, cols []float64, c, h, w, oh, ow, kh, kw, stride, padH, padW, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		slab := img[b*c*h*w : (b+1)*c*h*w]
+		for i := range slab {
+			slab[i] = 0
+		}
+		colRow := b * oh * ow
 		for oy := 0; oy < oh; oy++ {
 			iy0 := oy*stride - padH
 			for ox := 0; ox < ow; ox++ {
 				ix0 := ox*stride - padW
-				src := cols.data[colRow*c*kh*kw : (colRow+1)*c*kh*kw]
+				src := cols[colRow*c*kh*kw : (colRow+1)*c*kh*kw]
 				si := 0
 				for ch := 0; ch < c; ch++ {
 					base := ((b*c + ch) * h) * w
@@ -120,7 +157,7 @@ func Col2ImInto(img, cols *Tensor, kh, kw, stride, padH, padW int) *Tensor {
 						for kx := 0; kx < kw; kx++ {
 							ix := ix0 + kx
 							if ix >= 0 && ix < w {
-								img.data[rowBase+ix] += src[si]
+								img[rowBase+ix] += src[si]
 							}
 							si++
 						}
@@ -130,7 +167,222 @@ func Col2ImInto(img, cols *Tensor, kh, kw, stride, padH, padW int) *Tensor {
 			}
 		}
 	}
-	return img
+}
+
+// ScatterNCHWInto rearranges a (N·OH·OW, OutC) matmul-layout matrix into
+// channel-major images out (N, OutC, OH, OW), parallel over the batch.
+func ScatterNCHWInto(out, flat *Tensor) *Tensor {
+	if len(out.shape) != 4 {
+		panic("tensor: ScatterNCHWInto requires (N,C,OH,OW) output")
+	}
+	n, oc, oh, ow := out.shape[0], out.shape[1], out.shape[2], out.shape[3]
+	if flat.Size() != n*oc*oh*ow {
+		panic("tensor: ScatterNCHWInto size mismatch")
+	}
+	cost := 2 * oc * oh * ow
+	if shouldPar(n, cost) {
+		od, fd := out.data, flat.data
+		ParallelFor(n, cost, func(lo, hi int) { scatterNCHW(od, fd, oc, oh, ow, lo, hi) })
+	} else {
+		scatterNCHW(out.data, flat.data, oc, oh, ow, 0, n)
+	}
+	return out
+}
+
+func scatterNCHW(out, flat []float64, oc, oh, ow, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := ((b*oh+y)*ow + x) * oc
+				for ch := 0; ch < oc; ch++ {
+					out[((b*oc+ch)*oh+y)*ow+x] = flat[row+ch]
+				}
+			}
+		}
+	}
+}
+
+// GatherNCHWInto is the inverse of ScatterNCHWInto: it collects a
+// channel-major image batch img (N, C, OH, OW) into the matmul-layout
+// matrix flat (N·OH·OW, C), parallel over the batch.
+func GatherNCHWInto(flat, img *Tensor) *Tensor {
+	if len(img.shape) != 4 {
+		panic("tensor: GatherNCHWInto requires (N,C,OH,OW) input")
+	}
+	n, oc, oh, ow := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	if flat.Size() != n*oc*oh*ow {
+		panic("tensor: GatherNCHWInto size mismatch")
+	}
+	cost := 2 * oc * oh * ow
+	if shouldPar(n, cost) {
+		fd, id := flat.data, img.data
+		ParallelFor(n, cost, func(lo, hi int) { gatherNCHW(fd, id, oc, oh, ow, lo, hi) })
+	} else {
+		gatherNCHW(flat.data, img.data, oc, oh, ow, 0, n)
+	}
+	return flat
+}
+
+func gatherNCHW(flat, img []float64, oc, oh, ow, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := ((b*oh+y)*ow + x) * oc
+				for ch := 0; ch < oc; ch++ {
+					flat[row+ch] = img[((b*oc+ch)*oh+y)*ow+x]
+				}
+			}
+		}
+	}
+}
+
+// Conv2DBiasInto computes a fused convolution-plus-bias forward pass:
+// out = conv(img, w) + bias, writing channel-major (N, OutC, OH, OW)
+// images. img is (N, C, H, W), w is the (C·KH·KW, OutC) filter matrix
+// (same layout the im2col path multiplies against), bias has length OutC.
+//
+// For stride-1 convolutions it runs an im2col-free direct kernel —
+// per-(batch, out-channel) output planes accumulate FMA row updates in
+// ascending (c, ky, kx) order, bitwise equal to RefConv2DInto — and
+// touches no scratch beyond the output. Other strides fall back to
+// im2col + fused matmul through ws (nil ws allocates).
+func Conv2DBiasInto(ws *Workspace, out, img, w, bias *Tensor, kh, kw, stride, padH, padW int) *Tensor {
+	if len(img.shape) != 4 || len(out.shape) != 4 {
+		panic("tensor: Conv2DBiasInto requires (N,C,H,W) tensors")
+	}
+	if img.dtype != Float64 || out.dtype != Float64 {
+		panic("tensor: Conv2DBiasInto requires float64 tensors")
+	}
+	n, c, h, wd := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	oh := ConvDims(h, kh, stride, padH)
+	ow := ConvDims(wd, kw, stride, padW)
+	outC := w.shape[1]
+	if w.shape[0] != c*kh*kw {
+		panic("tensor: Conv2DBiasInto filter shape mismatch")
+	}
+	if out.shape[0] != n || out.shape[1] != outC || out.shape[2] != oh || out.shape[3] != ow {
+		panic("tensor: Conv2DBiasInto output shape mismatch")
+	}
+	if bias != nil && bias.Size() != outC {
+		panic("tensor: Conv2DBiasInto bias length mismatch")
+	}
+	if stride != 1 {
+		rows := n * oh * ow
+		cols := ws.Get(rows, c*kh*kw)
+		Im2ColInto(cols, img, kh, kw, stride, padH, padW)
+		flat := ws.Get(rows, outC)
+		MatMulBiasInto(flat, cols, w, bias)
+		ScatterNCHWInto(out, flat)
+		ws.Put(flat)
+		ws.Put(cols)
+		return out
+	}
+	planes := n * outC
+	cost := 2 * c * kh * kw * oh * ow
+	if shouldPar(planes, cost) {
+		od, id, wdd := out.data, img.data, w.data
+		var bd []float64
+		if bias != nil {
+			bd = bias.data
+		}
+		ParallelFor(planes, cost, func(lo, hi int) {
+			conv2DDirectPlanes(od, id, wdd, bd, c, h, wd, outC, oh, ow, kh, kw, padH, padW, lo, hi)
+		})
+	} else {
+		var bd []float64
+		if bias != nil {
+			bd = bias.data
+		}
+		conv2DDirectPlanes(out.data, img.data, w.data, bd, c, h, wd, outC, oh, ow, kh, kw, padH, padW, 0, planes)
+	}
+	return out
+}
+
+// conv2DDirectPlanes computes output planes [lo,hi) (plane = b*outC+oc)
+// of a stride-1 convolution: each plane is zeroed, then accumulates one
+// axpyFMA row update per (c, ky, kx, valid oy) — the same ascending
+// reduction order as the scalar reference.
+func conv2DDirectPlanes(out, img, w, bias []float64, c, h, iw, outC, oh, ow, kh, kw, padH, padW, lo, hi int) {
+	for plane := lo; plane < hi; plane++ {
+		b := plane / outC
+		oc := plane % outC
+		oplane := out[plane*oh*ow : (plane+1)*oh*ow]
+		for i := range oplane {
+			oplane[i] = 0
+		}
+		for ch := 0; ch < c; ch++ {
+			iplane := img[(b*c+ch)*h*iw : (b*c+ch+1)*h*iw]
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					wv := w[((ch*kh+ky)*kw+kx)*outC+oc]
+					ox0 := 0
+					if padW-kx > 0 {
+						ox0 = padW - kx
+					}
+					ox1 := ow
+					if iw+padW-kx < ox1 {
+						ox1 = iw + padW - kx
+					}
+					if ox0 >= ox1 {
+						continue
+					}
+					for oy := 0; oy < oh; oy++ {
+						iy := oy + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						ix0 := ox0 + kx - padW
+						axpyFMA(wv, iplane[iy*iw+ix0:iy*iw+ix0+(ox1-ox0)], oplane[oy*ow+ox0:oy*ow+ox1])
+					}
+				}
+			}
+		}
+		if bias != nil {
+			bv := bias[oc]
+			for i := range oplane {
+				oplane[i] += bv
+			}
+		}
+	}
+}
+
+// RefConv2DInto is the naive scalar reference for Conv2DBiasInto
+// (stride 1): per-element FMA accumulation in ascending (c, ky, kx)
+// order, skipping padded taps, bias added with a plain + afterwards.
+// Kept for bitwise cross-checks and benchmark baselines, not speed.
+func RefConv2DInto(out, img, w, bias *Tensor, kh, kw, padH, padW int) *Tensor {
+	n, c, h, iw := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	outC, oh, ow := out.shape[1], out.shape[2], out.shape[3]
+	od, id, wd := out.data, img.data, w.data
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := 0.0
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := oy + ky - padH
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox + kx - padW
+								if ix < 0 || ix >= iw {
+									continue
+								}
+								acc = math.FMA(id[((b*c+ch)*h+iy)*iw+ix], wd[((ch*kh+ky)*kw+kx)*outC+oc], acc)
+							}
+						}
+					}
+					if bias != nil {
+						acc += bias.data[oc]
+					}
+					od[((b*outC+oc)*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return out
 }
 
 // MaxPool2D applies 2-D max pooling to (N,C,H,W) and returns the pooled

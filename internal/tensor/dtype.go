@@ -1,0 +1,92 @@
+package tensor
+
+import "fmt"
+
+// DType identifies a tensor's element storage type. Float64 is the zero
+// value and the default throughout the repository; Float32 halves memory
+// and bandwidth for serving-oriented paths while every kernel still
+// accumulates in float64 (see kernel.go for the rounding contract).
+type DType uint8
+
+const (
+	Float64 DType = iota
+	Float32
+)
+
+func (d DType) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	}
+	return fmt.Sprintf("DType(%d)", uint8(d))
+}
+
+// NewOf allocates a zero-filled tensor of the given dtype and shape.
+// NewOf(Float64, ...) is identical to New.
+func NewOf(dt DType, shape ...int) *Tensor {
+	if dt == Float64 {
+		return New(shape...)
+	}
+	if dt != Float32 {
+		panic("tensor: unknown dtype")
+	}
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			// Message omits the shape so the variadic slice does not
+			// escape (see New).
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data32: make([]float32, n), dtype: Float32}
+}
+
+// FromSlice32 wraps data into a float32 tensor with the given shape. The
+// slice is used directly (not copied).
+func FromSlice32(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data32: data, dtype: Float32}
+}
+
+// DType returns the tensor's element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Data32 exposes the underlying flat float32 buffer. Mutating it mutates
+// the tensor. Panics on a float64 tensor.
+func (t *Tensor) Data32() []float32 {
+	if t.dtype != Float32 {
+		panic("tensor: Data32 on a float64 tensor (use Data)")
+	}
+	return t.data32
+}
+
+// Convert returns a new tensor holding t's values in dtype dt — always a
+// deep copy, even when dt == t.DType(). Narrowing to float32 rounds each
+// element once; widening is exact.
+func (t *Tensor) Convert(dt DType) *Tensor {
+	out := NewOf(dt, t.shape...)
+	switch {
+	case dt == t.dtype && dt == Float64:
+		copy(out.data, t.data)
+	case dt == t.dtype:
+		copy(out.data32, t.data32)
+	case dt == Float32:
+		for i, v := range t.data {
+			out.data32[i] = float32(v)
+		}
+	default:
+		for i, v := range t.data32 {
+			out.data[i] = float64(v)
+		}
+	}
+	return out
+}

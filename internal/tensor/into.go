@@ -2,25 +2,63 @@ package tensor
 
 import "math"
 
-// Into-variants of the allocating elementwise/reduction ops: each computes
-// the same result as its namesake with identical floating-point operation
-// order, but writes into caller-provided (typically Workspace-pooled)
-// storage instead of allocating. The allocating forms delegate here, so
-// the two paths share one kernel and stay bitwise identical by
-// construction — the contract the workspace-pooled training path is
-// verified against.
+// Into-variants of the allocating elementwise/reduction ops. Each op has
+// exactly one kernel — the Into form — and every other spelling
+// (allocating Foo, method FooInPlace) is a thin wrapper over it, so all
+// paths stay bitwise identical by construction. The binary elementwise
+// kernels are dtype-generic (float32 tensors compute in float32; the
+// matmul family is where float64 accumulation lives) and run on the
+// shared ParallelFor runtime when the tensor is large enough to pay for
+// it.
 //
-// Naming convention: Out-of-place op Foo(a, b) gains FooInto(out, a, b);
-// out must have the correct shape and is fully overwritten (no need to
-// zero it first unless documented). out may not alias an input unless the
-// specific op notes it is safe.
+// Naming convention: out must have the correct shape (and dtype) and is
+// fully overwritten. out may not alias an input unless the specific op
+// notes it is safe.
+
+// ewRange dispatches one elementwise range kernel serially or over the
+// worker pool. rangeFn is a top-level function, so the serial path
+// constructs no closure and allocates nothing.
+func ewRange[T float32 | float64](od, ad, bd []T, cost int, rangeFn func(od, ad, bd []T, lo, hi int)) {
+	n := len(od)
+	if shouldPar(n, cost) {
+		ParallelFor(n, cost, func(lo, hi int) { rangeFn(od, ad, bd, lo, hi) })
+		return
+	}
+	rangeFn(od, ad, bd, 0, n)
+}
+
+func addRange[T float32 | float64](od, ad, bd []T, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		od[i] = ad[i] + bd[i]
+	}
+}
+
+func subRange[T float32 | float64](od, ad, bd []T, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		od[i] = ad[i] - bd[i]
+	}
+}
+
+func mulRange[T float32 | float64](od, ad, bd []T, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		od[i] = ad[i] * bd[i]
+	}
+}
+
+func divRange[T float32 | float64](od, ad, bd []T, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		od[i] = ad[i] / bd[i]
+	}
+}
 
 // AddInto sets out = a+b elementwise. out may alias a or b.
 func AddInto(out, a, b *Tensor) *Tensor {
 	checkSame("AddInto", a, b)
 	checkSame("AddInto", out, a)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
+	if out.dtype == Float32 {
+		ewRange(out.data32, a.data32, b.data32, 1, addRange[float32])
+	} else {
+		ewRange(out.data, a.data, b.data, 1, addRange[float64])
 	}
 	return out
 }
@@ -29,8 +67,10 @@ func AddInto(out, a, b *Tensor) *Tensor {
 func SubInto(out, a, b *Tensor) *Tensor {
 	checkSame("SubInto", a, b)
 	checkSame("SubInto", out, a)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
+	if out.dtype == Float32 {
+		ewRange(out.data32, a.data32, b.data32, 1, subRange[float32])
+	} else {
+		ewRange(out.data, a.data, b.data, 1, subRange[float64])
 	}
 	return out
 }
@@ -39,8 +79,10 @@ func SubInto(out, a, b *Tensor) *Tensor {
 func MulInto(out, a, b *Tensor) *Tensor {
 	checkSame("MulInto", a, b)
 	checkSame("MulInto", out, a)
-	for i := range a.data {
-		out.data[i] = a.data[i] * b.data[i]
+	if out.dtype == Float32 {
+		ewRange(out.data32, a.data32, b.data32, 1, mulRange[float32])
+	} else {
+		ewRange(out.data, a.data, b.data, 1, mulRange[float64])
 	}
 	return out
 }
@@ -49,26 +91,61 @@ func MulInto(out, a, b *Tensor) *Tensor {
 func DivInto(out, a, b *Tensor) *Tensor {
 	checkSame("DivInto", a, b)
 	checkSame("DivInto", out, a)
-	for i := range a.data {
-		out.data[i] = a.data[i] / b.data[i]
+	if out.dtype == Float32 {
+		ewRange(out.data32, a.data32, b.data32, 1, divRange[float32])
+	} else {
+		ewRange(out.data, a.data, b.data, 1, divRange[float64])
 	}
 	return out
 }
 
-// ApplyInto sets out[i] = f(a[i]). out may alias a.
+// ApplyInto sets out[i] = f(a[i]); for float32 storage each element is
+// widened, mapped in float64, and rounded once. out may alias a. This is
+// the single kernel behind Apply and ApplyInPlace.
 func ApplyInto(out, a *Tensor, f func(float64) float64) *Tensor {
 	checkSame("ApplyInto", out, a)
-	for i := range a.data {
-		out.data[i] = f(a.data[i])
+	// f is an arbitrary function call per element: assume it is
+	// expensive enough to parallelize an order of magnitude sooner than
+	// the arithmetic kernels.
+	const applyCost = 16
+	if out.dtype == Float32 {
+		od, ad := out.data32, a.data32
+		if shouldPar(len(od), applyCost) {
+			ParallelFor(len(od), applyCost, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					od[i] = float32(f(float64(ad[i])))
+				}
+			})
+		} else {
+			for i, v := range ad {
+				od[i] = float32(f(float64(v)))
+			}
+		}
+		return out
+	}
+	od, ad := out.data, a.data
+	if shouldPar(len(od), applyCost) {
+		ParallelFor(len(od), applyCost, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = f(ad[i])
+			}
+		})
+	} else {
+		for i, v := range ad {
+			od[i] = f(v)
+		}
 	}
 	return out
 }
 
-// SumAxis0Into reduces a 2-D tensor over rows into out (shape (C)),
-// overwriting out.
+// SumAxis0Into reduces a 2-D float64 tensor over rows into out (shape
+// (C)), overwriting out.
 func SumAxis0Into(out, a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: SumAxis0Into requires a 2-D tensor")
+	}
+	if a.dtype != Float64 || out.dtype != Float64 {
+		panic("tensor: SumAxis0Into requires float64 tensors")
 	}
 	if out.Size() != a.shape[1] {
 		panic("tensor: SumAxis0Into output size mismatch")
@@ -86,17 +163,11 @@ func SumAxis0Into(out, a *Tensor) *Tensor {
 	return out
 }
 
-// SoftmaxRowsInto computes the row-wise softmax of a into out (same
-// shape), with the max-subtraction trick. out may alias a.
-func SoftmaxRowsInto(out, a *Tensor) *Tensor {
-	if len(a.shape) != 2 {
-		panic("tensor: SoftmaxRowsInto requires a 2-D tensor")
-	}
-	checkSame("SoftmaxRowsInto", out, a)
-	r, c := a.shape[0], a.shape[1]
-	for i := 0; i < r; i++ {
-		row := a.data[i*c : (i+1)*c]
-		orow := out.data[i*c : (i+1)*c]
+// softmaxRows computes the row-wise softmax for rows [lo,hi).
+func softmaxRows(od, ad []float64, c, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := ad[i*c : (i+1)*c]
+		orow := od[i*c : (i+1)*c]
 		m := math.Inf(-1)
 		for _, v := range row {
 			if v > m {
@@ -114,14 +185,39 @@ func SoftmaxRowsInto(out, a *Tensor) *Tensor {
 			orow[j] *= inv
 		}
 	}
+}
+
+// SoftmaxRowsInto computes the row-wise softmax of a into out (same
+// shape), with the max-subtraction trick, parallelized over rows. out
+// may alias a. float64 only.
+func SoftmaxRowsInto(out, a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: SoftmaxRowsInto requires a 2-D tensor")
+	}
+	if a.dtype != Float64 || out.dtype != Float64 {
+		panic("tensor: SoftmaxRowsInto requires float64 tensors")
+	}
+	checkSame("SoftmaxRowsInto", out, a)
+	r, c := a.shape[0], a.shape[1]
+	// ~3 passes over the row, one of them math.Exp.
+	cost := 24 * c
+	if shouldPar(r, cost) {
+		od, ad := out.data, a.data
+		ParallelFor(r, cost, func(lo, hi int) { softmaxRows(od, ad, c, lo, hi) })
+	} else {
+		softmaxRows(out.data, a.data, c, 0, r)
+	}
 	return out
 }
 
-// TransposeInto writes the transpose of the 2-D tensor a into out (shape
-// (C,R)). out must not alias a.
+// TransposeInto writes the transpose of the 2-D float64 tensor a into out
+// (shape (C,R)). out must not alias a.
 func TransposeInto(out, a *Tensor) *Tensor {
 	if len(a.shape) != 2 {
 		panic("tensor: TransposeInto requires a 2-D tensor")
+	}
+	if a.dtype != Float64 || out.dtype != Float64 {
+		panic("tensor: TransposeInto requires float64 tensors")
 	}
 	r, c := a.shape[0], a.shape[1]
 	if len(out.shape) != 2 || out.shape[0] != c || out.shape[1] != r {
@@ -135,8 +231,9 @@ func TransposeInto(out, a *Tensor) *Tensor {
 	return out
 }
 
-// ArgmaxRowsInto fills dst with the per-row argmax of a 2-D tensor,
-// growing dst only when its capacity is insufficient, and returns it.
+// ArgmaxRowsInto fills dst with the per-row argmax of a 2-D float64
+// tensor, growing dst only when its capacity is insufficient, and
+// returns it.
 func (t *Tensor) ArgmaxRowsInto(dst []int) []int {
 	if len(t.shape) != 2 {
 		panic("tensor: ArgmaxRowsInto requires a 2-D tensor")

@@ -1,0 +1,521 @@
+package tensor
+
+import "math"
+
+// The shared GEMM engine behind MatMulInto, MatMulTInto, TMatMulInto and
+// their fused bias/activation/accumulate variants (matmul.go).
+//
+// Floating-point contract, shared by every path (scalar reference, packed
+// AVX2 kernel, axpy small path, any worker split): each output element is
+// an exactly-rounded FMA chain over products in ascending p order, seeded
+// from the element's prior value (out is zeroed first when not
+// accumulating). Bias is added with a plain + after the full-K chain,
+// then the activation is applied. For float32 storage the whole chain
+// runs in float64 (inputs widened exactly) and rounds to float32 once,
+// after the epilogue. Because every path follows the same recipe, results
+// are bitwise identical across kernels, architectures, and worker counts
+// — kernel_test.go pins this against the Ref* kernels below.
+
+// Epilogue selects the activation fused after the bias add.
+type Epilogue uint8
+
+const (
+	EpNone Epilogue = iota
+	EpReLU
+	EpSigmoid
+	EpTanh
+)
+
+func applyEp(v float64, ep Epilogue) float64 {
+	switch ep {
+	case EpReLU:
+		if v <= 0 {
+			return 0
+		}
+		return v
+	case EpSigmoid:
+		return 1 / (1 + math.Exp(-v))
+	case EpTanh:
+		return math.Tanh(v)
+	}
+	return v
+}
+
+type gemmKind uint8
+
+const (
+	gemmNN gemmKind = iota // out = a·b        a (m,k), b (k,n)
+	gemmNT                 // out = a·bᵀ       a (m,k), b (n,k)
+	gemmTN                 // out = aᵀ·b       a (k,m), b (k,n)
+)
+
+// packMinFlops is the problem size (2·m·n·k flops) below which the
+// packing overhead outweighs the blocked kernel and the direct small
+// paths win.
+const packMinFlops = 1 << 17
+
+// gemmEx is the single entry point for the matmul family.
+func gemmEx(kind gemmKind, out, a, b, bias *Tensor, ep Epilogue, acc bool) {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(out.shape) != 2 {
+		panic("tensor: matmul requires 2-D tensors")
+	}
+	var m, k, n, k2 int
+	switch kind {
+	case gemmNN:
+		m, k = a.shape[0], a.shape[1]
+		k2, n = b.shape[0], b.shape[1]
+	case gemmNT:
+		m, k = a.shape[0], a.shape[1]
+		n, k2 = b.shape[0], b.shape[1]
+	case gemmTN:
+		k, m = a.shape[0], a.shape[1]
+		k2, n = b.shape[0], b.shape[1]
+	}
+	if k != k2 {
+		panic("tensor: matmul inner dimensions disagree")
+	}
+	if out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: matmul output shape mismatch")
+	}
+	if a.dtype != b.dtype || out.dtype != a.dtype {
+		panic("tensor: matmul dtype mismatch")
+	}
+	if out == a || out == b {
+		panic("tensor: matmul output must not alias an input")
+	}
+	var bias64 []float64
+	var bias32 []float32
+	if bias != nil {
+		if bias.Size() != n {
+			panic("tensor: matmul bias length mismatch")
+		}
+		if bias.dtype != out.dtype {
+			panic("tensor: matmul bias dtype mismatch")
+		}
+		bias64, bias32 = bias.data, bias.data32
+	}
+	if !acc {
+		out.Zero()
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	flops := 2 * m * n * k
+	if out.dtype == Float32 {
+		if flops >= packMinFlops {
+			gemmPacked32(kind, out.data32, a.data32, b.data32, bias32, m, k, n, ep)
+		} else if shouldPar(m, 2*k*n) {
+			ad, bd, od := a.data32, b.data32, out.data32
+			ParallelFor(m, 2*k*n, func(lo, hi int) {
+				gemmSmall32(kind, od, ad, bd, bias32, m, k, n, ep, lo, hi)
+			})
+		} else {
+			gemmSmall32(kind, out.data32, a.data32, b.data32, bias32, m, k, n, ep, 0, m)
+		}
+		return
+	}
+	if flops >= packMinFlops {
+		gemmPacked64(kind, out.data, a.data, b.data, bias64, m, k, n, ep)
+		return
+	}
+	ad, bd, od := a.data, b.data, out.data
+	par := shouldPar(m, 2*k*n)
+	switch kind {
+	case gemmNN:
+		if par {
+			ParallelFor(m, 2*k*n, func(lo, hi int) { gemmSmallNN64(od, ad, bd, bias64, k, n, ep, lo, hi) })
+		} else {
+			gemmSmallNN64(od, ad, bd, bias64, k, n, ep, 0, m)
+		}
+	case gemmNT:
+		if par {
+			ParallelFor(m, 2*k*n, func(lo, hi int) { gemmSmallNT64(od, ad, bd, bias64, k, n, ep, lo, hi) })
+		} else {
+			gemmSmallNT64(od, ad, bd, bias64, k, n, ep, 0, m)
+		}
+	case gemmTN:
+		if par {
+			ParallelFor(m, 2*k*n, func(lo, hi int) { gemmSmallTN64(od, ad, bd, bias64, m, k, n, ep, lo, hi) })
+		} else {
+			gemmSmallTN64(od, ad, bd, bias64, m, k, n, ep, 0, m)
+		}
+	}
+}
+
+// epilogueRowSeg64 applies bias+activation to out[jOff:jOff+len(seg)] of
+// one row. A plain add (not FMA) keeps bias semantics identical to the
+// former separate AddRowVector pass.
+func epilogueRowSeg64(seg, bias []float64, jOff int, ep Epilogue) {
+	if bias != nil {
+		for x := range seg {
+			seg[x] += bias[jOff+x]
+		}
+	}
+	if ep != EpNone {
+		for x, v := range seg {
+			seg[x] = applyEp(v, ep)
+		}
+	}
+}
+
+// Small direct paths: no packing, no scratch, zero allocations — these
+// keep Dense/GRU-sized calls on the fast path the workspace allocation
+// gates pin.
+
+func gemmSmallNN64(od, ad, bd, bias []float64, k, n int, ep Epilogue, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : i*n+n]
+		arow := ad[i*k : i*k+k]
+		for p := 0; p < k; p++ {
+			axpyFMA(arow[p], bd[p*n:p*n+n], orow)
+		}
+		if bias != nil || ep != EpNone {
+			epilogueRowSeg64(orow, bias, 0, ep)
+		}
+	}
+}
+
+func gemmSmallNT64(od, ad, bd, bias []float64, k, n int, ep Epilogue, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : i*n+n]
+		arow := ad[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			acc := orow[j]
+			brow := bd[j*k : j*k+k]
+			for p, av := range arow {
+				acc = math.FMA(av, brow[p], acc)
+			}
+			orow[j] = acc
+		}
+		if bias != nil || ep != EpNone {
+			epilogueRowSeg64(orow, bias, 0, ep)
+		}
+	}
+}
+
+func gemmSmallTN64(od, ad, bd, bias []float64, m, k, n int, ep Epilogue, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			axpyFMA(ad[p*m+i], bd[p*n:p*n+n], orow)
+		}
+		if bias != nil || ep != EpNone {
+			epilogueRowSeg64(orow, bias, 0, ep)
+		}
+	}
+}
+
+// gemmSmall32: scalar dots with float64 accumulation; the epilogue runs
+// in float64 before the single rounding to float32.
+func gemmSmall32(kind gemmKind, od, ad, bd []float32, bias []float32, m, k, n int, ep Epilogue, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			acc := float64(od[i*n+j])
+			switch kind {
+			case gemmNN:
+				for p := 0; p < k; p++ {
+					acc = math.FMA(float64(ad[i*k+p]), float64(bd[p*n+j]), acc)
+				}
+			case gemmNT:
+				for p := 0; p < k; p++ {
+					acc = math.FMA(float64(ad[i*k+p]), float64(bd[j*k+p]), acc)
+				}
+			case gemmTN:
+				for p := 0; p < k; p++ {
+					acc = math.FMA(float64(ad[p*m+i]), float64(bd[p*n+j]), acc)
+				}
+			}
+			if bias != nil {
+				acc += float64(bias[j])
+			}
+			od[i*n+j] = float32(applyEp(acc, ep))
+		}
+	}
+}
+
+// Packed blocked path: B strips packed once per (kc×nc) block into 8-wide
+// panels, 4-row A panels packed per chunk, 4×8 register-tiled micro-kernel
+// (AVX2+FMA on amd64). Edge tiles run the same kernel through a
+// zero-padded stack tile whose out-of-range lanes are never stored.
+
+func gemmPacked64(kind gemmKind, od, ad, bd, bias []float64, m, k, n int, ep Epilogue) {
+	_, kcB, ncB := BlockSizes()
+	kbMax := min(kcB, k)
+	// Loop variables are copied into single-assignment locals (jc, nb,
+	// pc, kb) before the worker closure captures them: capturing a
+	// mutated variable would box it on the heap on every call, serial
+	// path included.
+	for jcIter := 0; jcIter < n; jcIter += ncB {
+		jc, nb := jcIter, min(n-jcIter, ncB)
+		panels := (nb + 7) / 8
+		bpP := getScratch(panels * kbMax * 8)
+		for pcIter := 0; pcIter < k; pcIter += kcB {
+			pc, kb := pcIter, min(k-pcIter, kcB)
+			bp := (*bpP)[:panels*kb*8]
+			if kind == gemmNT {
+				packBCols64(bp, bd, k, pc, kb, jc, nb)
+			} else {
+				packBRows64(bp, bd, n, pc, kb, jc, nb)
+			}
+			lastK := pc+kb == k
+			rowBlocks := (m + 3) / 4
+			cost := 8 * kb * nb
+			if shouldPar(rowBlocks, cost) {
+				ParallelFor(rowBlocks, cost, func(lo, hi int) {
+					gemmPackedRows64(kind, od, ad, bp, bias, m, k, n, pc, kb, jc, nb, lo, hi, lastK, ep)
+				})
+			} else {
+				gemmPackedRows64(kind, od, ad, bp, bias, m, k, n, pc, kb, jc, nb, 0, rowBlocks, lastK, ep)
+			}
+		}
+		putScratch(bpP)
+	}
+}
+
+func gemmPackedRows64(kind gemmKind, od, ad, bp, bias []float64, m, k, n, pc, kb, jc, nb, lo, hi int, lastK bool, ep Epilogue) {
+	apP := getScratch(kb * 4)
+	ap := *apP
+	panels := (nb + 7) / 8
+	var tile [32]float64
+	for ib := lo; ib < hi; ib++ {
+		i0 := ib * 4
+		mb := m - i0
+		if mb > 4 {
+			mb = 4
+		}
+		if kind == gemmTN {
+			packACols64(ap, ad, m, i0, mb, pc, kb)
+		} else {
+			packARows64(ap, ad, k, i0, mb, pc, kb)
+		}
+		for j8 := 0; j8 < panels; j8++ {
+			jj := jc + j8*8
+			w := nb - j8*8
+			if w > 8 {
+				w = 8
+			}
+			bpanel := bp[j8*kb*8 : (j8+1)*kb*8]
+			if mb == 4 && w == 8 {
+				gemm4x8(kb, ap, bpanel, od[i0*n+jj:], n)
+				continue
+			}
+			for r := 0; r < mb; r++ {
+				copy(tile[r*8:r*8+w], od[(i0+r)*n+jj:(i0+r)*n+jj+w])
+				for x := w; x < 8; x++ {
+					tile[r*8+x] = 0
+				}
+			}
+			for r := mb * 8; r < 32; r++ {
+				tile[r] = 0
+			}
+			gemm4x8(kb, ap, bpanel, tile[:], 8)
+			for r := 0; r < mb; r++ {
+				copy(od[(i0+r)*n+jj:(i0+r)*n+jj+w], tile[r*8:r*8+w])
+			}
+		}
+		if lastK && (bias != nil || ep != EpNone) {
+			for r := 0; r < mb; r++ {
+				epilogueRowSeg64(od[(i0+r)*n+jc:(i0+r)*n+jc+nb], bias, jc, ep)
+			}
+		}
+	}
+	putScratch(apP)
+}
+
+// gemmPacked32 accumulates each nc strip into a pooled float64 buffer —
+// intermediate kc blocks never round to float32, preserving the
+// "float64 accumulation over the full K" contract — then applies the
+// epilogue and rounds once on store.
+func gemmPacked32(kind gemmKind, od, ad, bd []float32, bias []float32, m, k, n int, ep Epilogue) {
+	_, kcB, ncB := BlockSizes()
+	kbMax := min(kcB, k)
+	for jcIter := 0; jcIter < n; jcIter += ncB {
+		jc, nb := jcIter, min(n-jcIter, ncB)
+		panels := (nb + 7) / 8
+		csP := getScratch(m * nb)
+		cs := *csP
+		for i := 0; i < m; i++ {
+			src := od[i*n+jc : i*n+jc+nb]
+			dst := cs[i*nb : i*nb+nb]
+			for j, v := range src {
+				dst[j] = float64(v)
+			}
+		}
+		bpP := getScratch(panels * kbMax * 8)
+		for pc := 0; pc < k; pc += kcB {
+			kb := k - pc
+			if kb > kcB {
+				kb = kcB
+			}
+			bp := (*bpP)[:panels*kb*8]
+			if kind == gemmNT {
+				packBCols32(bp, bd, k, pc, kb, jc, nb)
+			} else {
+				packBRows32(bp, bd, n, pc, kb, jc, nb)
+			}
+			rowBlocks := (m + 3) / 4
+			cost := 8 * kb * nb
+			if shouldPar(rowBlocks, cost) {
+				ParallelFor(rowBlocks, cost, func(lo, hi int) {
+					gemmPackedRows32(kind, cs, ad, bp, m, k, nb, pc, kb, lo, hi)
+				})
+			} else {
+				gemmPackedRows32(kind, cs, ad, bp, m, k, nb, pc, kb, 0, rowBlocks)
+			}
+		}
+		putScratch(bpP)
+		for i := 0; i < m; i++ {
+			src := cs[i*nb : i*nb+nb]
+			dst := od[i*n+jc : i*n+jc+nb]
+			if bias != nil {
+				for j, v := range src {
+					dst[j] = float32(applyEp(v+float64(bias[jc+j]), ep))
+				}
+			} else {
+				for j, v := range src {
+					dst[j] = float32(applyEp(v, ep))
+				}
+			}
+		}
+		putScratch(csP)
+	}
+}
+
+// gemmPackedRows32 runs the micro-kernel over the float64 strip cs
+// (row stride nb, column origin 0), packing A panels from float32.
+func gemmPackedRows32(kind gemmKind, cs []float64, ad []float32, bp []float64, m, k, nb, pc, kb, lo, hi int) {
+	apP := getScratch(kb * 4)
+	ap := *apP
+	panels := (nb + 7) / 8
+	var tile [32]float64
+	for ib := lo; ib < hi; ib++ {
+		i0 := ib * 4
+		mb := m - i0
+		if mb > 4 {
+			mb = 4
+		}
+		if kind == gemmTN {
+			packACols32(ap, ad, m, i0, mb, pc, kb)
+		} else {
+			packARows32(ap, ad, k, i0, mb, pc, kb)
+		}
+		for j8 := 0; j8 < panels; j8++ {
+			jj := j8 * 8
+			w := nb - jj
+			if w > 8 {
+				w = 8
+			}
+			bpanel := bp[j8*kb*8 : (j8+1)*kb*8]
+			if mb == 4 && w == 8 {
+				gemm4x8(kb, ap, bpanel, cs[i0*nb+jj:], nb)
+				continue
+			}
+			for r := 0; r < mb; r++ {
+				copy(tile[r*8:r*8+w], cs[(i0+r)*nb+jj:(i0+r)*nb+jj+w])
+				for x := w; x < 8; x++ {
+					tile[r*8+x] = 0
+				}
+			}
+			for r := mb * 8; r < 32; r++ {
+				tile[r] = 0
+			}
+			gemm4x8(kb, ap, bpanel, tile[:], 8)
+			for r := 0; r < mb; r++ {
+				copy(cs[(i0+r)*nb+jj:(i0+r)*nb+jj+w], tile[r*8:r*8+w])
+			}
+		}
+	}
+	putScratch(apP)
+}
+
+// Reference kernels: the floating-point contract stated literally — one
+// scalar FMA chain per element, ascending p, seeded from the prior out
+// value. Every optimized path must match these bitwise (kernel_test.go).
+
+func refGemm(kind gemmKind, out, a, b, bias *Tensor, ep Epilogue, acc bool) {
+	var m, k, n int
+	switch kind {
+	case gemmNN:
+		m, k, n = a.shape[0], a.shape[1], b.shape[1]
+	case gemmNT:
+		m, k, n = a.shape[0], a.shape[1], b.shape[0]
+	case gemmTN:
+		k, m, n = a.shape[0], a.shape[1], b.shape[1]
+	}
+	if out.shape[0] != m || out.shape[1] != n {
+		panic("tensor: matmul output shape mismatch")
+	}
+	if !acc {
+		out.Zero()
+	}
+	if out.dtype == Float32 {
+		od, ad, bd := out.data32, a.data32, b.data32
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				acc := float64(od[i*n+j])
+				switch kind {
+				case gemmNN:
+					for p := 0; p < k; p++ {
+						acc = math.FMA(float64(ad[i*k+p]), float64(bd[p*n+j]), acc)
+					}
+				case gemmNT:
+					for p := 0; p < k; p++ {
+						acc = math.FMA(float64(ad[i*k+p]), float64(bd[j*k+p]), acc)
+					}
+				case gemmTN:
+					for p := 0; p < k; p++ {
+						acc = math.FMA(float64(ad[p*m+i]), float64(bd[p*n+j]), acc)
+					}
+				}
+				if bias != nil {
+					acc += float64(bias.data32[j])
+				}
+				od[i*n+j] = float32(applyEp(acc, ep))
+			}
+		}
+		return
+	}
+	od, ad, bd := out.data, a.data, b.data
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := od[i*n+j]
+			switch kind {
+			case gemmNN:
+				for p := 0; p < k; p++ {
+					acc = math.FMA(ad[i*k+p], bd[p*n+j], acc)
+				}
+			case gemmNT:
+				for p := 0; p < k; p++ {
+					acc = math.FMA(ad[i*k+p], bd[j*k+p], acc)
+				}
+			case gemmTN:
+				for p := 0; p < k; p++ {
+					acc = math.FMA(ad[p*m+i], bd[p*n+j], acc)
+				}
+			}
+			if bias != nil {
+				acc += bias.data[j]
+			}
+			od[i*n+j] = applyEp(acc, ep)
+		}
+	}
+}
+
+// RefMatMulInto is the naive reference for MatMulInto (out = a·b). It is
+// kept for bitwise cross-checks and benchmark baselines, not speed.
+func RefMatMulInto(out, a, b *Tensor) *Tensor {
+	refGemm(gemmNN, out, a, b, nil, EpNone, false)
+	return out
+}
+
+// RefMatMulTInto is the naive reference for MatMulTInto (out = a·bᵀ).
+func RefMatMulTInto(out, a, b *Tensor) *Tensor {
+	refGemm(gemmNT, out, a, b, nil, EpNone, false)
+	return out
+}
+
+// RefTMatMulInto is the naive reference for TMatMulInto (out = aᵀ·b).
+func RefTMatMulInto(out, a, b *Tensor) *Tensor {
+	refGemm(gemmTN, out, a, b, nil, EpNone, false)
+	return out
+}

@@ -1,0 +1,417 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitEqual64 reports whether two float64 tensors are bitwise identical
+// (NaN == NaN, +0 != -0).
+func bitEqual64(a, b *Tensor) bool {
+	ad, bd := a.Data(), b.Data()
+	if len(ad) != len(bd) {
+		return false
+	}
+	for i := range ad {
+		if math.Float64bits(ad[i]) != math.Float64bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func bitEqual32(a, b *Tensor) bool {
+	ad, bd := a.Data32(), b.Data32()
+	if len(ad) != len(bd) {
+		return false
+	}
+	for i := range ad {
+		if math.Float32bits(ad[i]) != math.Float32bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// kernelShapes covers tile remainders (4-row and 8-col micro-kernel
+// edges), odd primes, degenerate dims, and sizes on both sides of the
+// packed-path threshold (2·m·n·k ≷ packMinFlops).
+var kernelShapes = [][3]int{
+	{1, 1, 1}, {1, 7, 1}, {3, 5, 9}, {4, 8, 8}, {5, 9, 17},
+	{7, 13, 11}, {8, 16, 24}, {16, 31, 33}, {33, 17, 65},
+	{40, 64, 56}, {64, 64, 64}, {65, 67, 63}, {96, 70, 90},
+	{128, 33, 129},
+}
+
+func randn2(rng *rand.Rand, r, c int) *Tensor { return Randn(rng, 1, r, c) }
+
+func TestGemmBitwiseVsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range kernelShapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randn2(rng, m, k)
+		b := randn2(rng, k, n)
+		bt := randn2(rng, n, k)
+		at := randn2(rng, k, m)
+
+		got, want := New(m, n), New(m, n)
+		MatMulInto(got, a, b)
+		RefMatMulInto(want, a, b)
+		if !bitEqual64(got, want) {
+			t.Fatalf("MatMulInto %dx%dx%d differs from reference", m, k, n)
+		}
+		MatMulTInto(got, a, bt)
+		RefMatMulTInto(want, a, bt)
+		if !bitEqual64(got, want) {
+			t.Fatalf("MatMulTInto %dx%dx%d differs from reference", m, k, n)
+		}
+		TMatMulInto(got, at, b)
+		RefTMatMulInto(want, at, b)
+		if !bitEqual64(got, want) {
+			t.Fatalf("TMatMulInto %dx%dx%d differs from reference", m, k, n)
+		}
+	}
+}
+
+func TestGemmFusedVariantsVsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	eps := []Epilogue{EpNone, EpReLU, EpSigmoid, EpTanh}
+	for _, s := range kernelShapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randn2(rng, m, k)
+		b := randn2(rng, k, n)
+		bias := randn2(rng, 1, n)
+		seed := randn2(rng, m, n)
+		for _, ep := range eps {
+			got, want := seed.Clone(), seed.Clone()
+			gemmEx(gemmNN, got, a, b, bias, ep, true)
+			refGemm(gemmNN, want, a, b, bias, ep, true)
+			if !bitEqual64(got, want) {
+				t.Fatalf("acc+bias+ep%d %dx%dx%d differs from reference", ep, m, k, n)
+			}
+			MatMulBiasActInto(got, a, b, bias, ep)
+			refGemm(gemmNN, want, a, b, bias, ep, false)
+			if !bitEqual64(got, want) {
+				t.Fatalf("MatMulBiasActInto ep%d %dx%dx%d differs from reference", ep, m, k, n)
+			}
+		}
+		// Accumulating transpose variants (the backward-pass workhorses).
+		bt := randn2(rng, n, k)
+		at := randn2(rng, k, m)
+		got, want := seed.Clone(), seed.Clone()
+		MatMulTAccInto(got, a, bt)
+		refGemm(gemmNT, want, a, bt, nil, EpNone, true)
+		if !bitEqual64(got, want) {
+			t.Fatalf("MatMulTAccInto %dx%dx%d differs from reference", m, k, n)
+		}
+		TMatMulAccInto(got, at, b)
+		refGemm(gemmTN, want, at, b, nil, EpNone, true)
+		if !bitEqual64(got, want) {
+			t.Fatalf("TMatMulAccInto %dx%dx%d differs from reference", m, k, n)
+		}
+	}
+}
+
+// TestGemmNaNInfPropagation pins the regression fixed in this PR: the old
+// kernels skipped a==0 terms, so a zero in A silently swallowed a NaN or
+// Inf in B. IEEE 0·NaN = NaN and 0·Inf = NaN must reach the output.
+func TestGemmNaNInfPropagation(t *testing.T) {
+	for _, mk := range [][3]int{{3, 5, 4}, {33, 65, 40}} {
+		m, k, n := mk[0], mk[1], mk[2]
+		rng := rand.New(rand.NewSource(7))
+		a := randn2(rng, m, k)
+		for i := 0; i < m; i++ { // zero column hitting the poisoned B row
+
+			a.Set(0, i, k-1)
+		}
+		for _, poison := range []float64{math.NaN(), math.Inf(1)} {
+			b := randn2(rng, k, n)
+			for j := 0; j < n; j++ {
+				b.Set(poison, k-1, j)
+			}
+			out := New(m, n)
+			MatMulInto(out, a, b)
+			for _, v := range out.Data() {
+				if !math.IsNaN(v) {
+					t.Fatalf("0*%v must poison the output (got %v); zero-skip bug is back", poison, v)
+				}
+			}
+			// Transposed variants share gemmEx, but the NT/TN small paths
+			// are separate kernels: pin them too.
+			btr := New(n, k)
+			for j := 0; j < n; j++ {
+				for p := 0; p < k; p++ {
+					btr.Set(b.At(p, j), j, p)
+				}
+			}
+			MatMulTInto(out, a, btr)
+			if !math.IsNaN(out.At(0, 0)) {
+				t.Fatalf("MatMulT lost 0*%v poisoning", poison)
+			}
+			atr := New(k, m)
+			for i := 0; i < m; i++ {
+				for p := 0; p < k; p++ {
+					atr.Set(a.At(i, p), p, i)
+				}
+			}
+			TMatMulInto(out, atr, b)
+			if !math.IsNaN(out.At(0, 0)) {
+				t.Fatalf("TMatMul lost 0*%v poisoning", poison)
+			}
+		}
+	}
+}
+
+// TestGemmFloat32 pins the float32 storage path: bitwise equal to the
+// float32 reference (same widen→f64-chain→round-once recipe) and within
+// 1e-6 relative of the float64 result.
+func TestGemmFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, s := range kernelShapes {
+		m, k, n := s[0], s[1], s[2]
+		a64 := randn2(rng, m, k)
+		b64 := randn2(rng, k, n)
+		bias64 := randn2(rng, 1, n)
+		a32, b32, bias32 := a64.Convert(Float32), b64.Convert(Float32), bias64.Convert(Float32)
+
+		got, want := NewOf(Float32, m, n), NewOf(Float32, m, n)
+		gemmEx(gemmNN, got, a32, b32, bias32, EpReLU, false)
+		refGemm(gemmNN, want, a32, b32, bias32, EpReLU, false)
+		if !bitEqual32(got, want) {
+			t.Fatalf("float32 NN %dx%dx%d differs from float32 reference", m, k, n)
+		}
+		bt64 := randn2(rng, n, k)
+		bt32 := bt64.Convert(Float32)
+		gemmEx(gemmNT, got, a32, bt32, nil, EpNone, false)
+		refGemm(gemmNT, want, a32, bt32, nil, EpNone, false)
+		if !bitEqual32(got, want) {
+			t.Fatalf("float32 NT %dx%dx%d differs from float32 reference", m, k, n)
+		}
+		at64 := randn2(rng, k, m)
+		at32 := at64.Convert(Float32)
+		gemmEx(gemmTN, got, at32, b32, nil, EpNone, false)
+		refGemm(gemmTN, want, at32, b32, nil, EpNone, false)
+		if !bitEqual32(got, want) {
+			t.Fatalf("float32 TN %dx%dx%d differs from float32 reference", m, k, n)
+		}
+
+		// Accuracy vs the float64 path: the widened-inputs chain differs
+		// from true f64 only by input quantization and the final rounding.
+		f64out := New(m, n)
+		MatMulInto(f64out, a64.Convert(Float32).Convert(Float64), b64.Convert(Float32).Convert(Float64))
+		gemmEx(gemmNN, got, a32, b32, nil, EpNone, false)
+		g32 := got.Data32()
+		for i, v := range f64out.Data() {
+			rel := math.Abs(float64(g32[i])-v) / math.Max(math.Abs(v), 1)
+			if rel > 1e-6 {
+				t.Fatalf("float32 %dx%dx%d relative error %g > 1e-6 at %d", m, k, n, rel, i)
+			}
+		}
+	}
+}
+
+// TestGemmWorkerInvariance pins that results do not depend on the worker
+// count or grain: the parallel split changes which goroutine computes a
+// row range, never the per-element FMA chain.
+func TestGemmWorkerInvariance(t *testing.T) {
+	w, g := Workers(), loadCfg().grain
+	t.Cleanup(func() { Configure(WithWorkers(w), WithGrain(g)) })
+	rng := rand.New(rand.NewSource(45))
+	a := randn2(rng, 65, 67)
+	b := randn2(rng, 67, 63)
+	bias := randn2(rng, 1, 63)
+
+	Configure(WithWorkers(1))
+	serial := New(65, 63)
+	MatMulBiasActInto(serial, a, b, bias, EpTanh)
+	for _, workers := range []int{2, 3, 4, 8} {
+		Configure(WithWorkers(workers), WithGrain(1024))
+		got := New(65, 63)
+		MatMulBiasActInto(got, a, b, bias, EpTanh)
+		if !bitEqual64(got, serial) {
+			t.Fatalf("workers=%d changes matmul bits", workers)
+		}
+	}
+}
+
+// TestGemmAsmVsGo cross-checks the assembly micro-kernels against the
+// portable math.FMA fallbacks bit for bit. On hosts without AVX2+FMA (or
+// off amd64) both runs take the Go path and the test is vacuous but
+// harmless.
+func TestGemmAsmVsGo(t *testing.T) {
+	orig := useAVX
+	t.Cleanup(func() { useAVX = orig })
+	rng := rand.New(rand.NewSource(46))
+	for _, s := range [][3]int{{33, 65, 40}, {64, 64, 64}, {5, 9, 17}} {
+		m, k, n := s[0], s[1], s[2]
+		a := randn2(rng, m, k)
+		b := randn2(rng, k, n)
+		useAVX = orig
+		fast := New(m, n)
+		MatMulInto(fast, a, b)
+		useAVX = false
+		slow := New(m, n)
+		MatMulInto(slow, a, b)
+		if !bitEqual64(fast, slow) {
+			t.Fatalf("asm and Go kernels disagree at %dx%dx%d", m, k, n)
+		}
+	}
+}
+
+func TestConvDirectVsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cases := []struct{ n, c, h, w, outC, kh, kw, padH, padW int }{
+		{1, 1, 5, 5, 1, 3, 3, 1, 1},
+		{2, 3, 9, 7, 4, 3, 3, 1, 1},
+		{1, 2, 8, 8, 3, 5, 5, 2, 2},
+		{2, 4, 13, 11, 5, 3, 5, 0, 2},
+		{3, 2, 6, 6, 2, 1, 1, 0, 0},
+		{1, 3, 16, 16, 8, 3, 3, 1, 1},
+	}
+	for _, tc := range cases {
+		img := Randn(rng, 1, tc.n, tc.c, tc.h, tc.w)
+		w := Randn(rng, 1, tc.c*tc.kh*tc.kw, tc.outC)
+		bias := Randn(rng, 1, tc.outC)
+		oh := ConvDims(tc.h, tc.kh, 1, tc.padH)
+		ow := ConvDims(tc.w, tc.kw, 1, tc.padW)
+		got := New(tc.n, tc.outC, oh, ow)
+		want := New(tc.n, tc.outC, oh, ow)
+		Conv2DBiasInto(nil, got, img, w, bias, tc.kh, tc.kw, 1, tc.padH, tc.padW)
+		RefConv2DInto(want, img, w, bias, tc.kh, tc.kw, tc.padH, tc.padW)
+		if !bitEqual64(got, want) {
+			t.Fatalf("direct conv differs from reference: %+v", tc)
+		}
+		// Without bias too (nil bias branch).
+		Conv2DBiasInto(nil, got, img, w, nil, tc.kh, tc.kw, 1, tc.padH, tc.padW)
+		RefConv2DInto(want, img, w, nil, tc.kh, tc.kw, tc.padH, tc.padW)
+		if !bitEqual64(got, want) {
+			t.Fatalf("direct conv (no bias) differs from reference: %+v", tc)
+		}
+	}
+}
+
+// TestConvStridedFallback checks the stride!=1 im2col fallback against a
+// naive strided loop (close, not bitwise: the matmul reduction order over
+// the im2col layout is a documented difference).
+func TestConvStridedFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	n, c, h, wd, outC, kh, kw, stride, pad := 2, 3, 9, 9, 4, 3, 3, 2, 1
+	img := Randn(rng, 1, n, c, h, wd)
+	w := Randn(rng, 1, c*kh*kw, outC)
+	bias := Randn(rng, 1, outC)
+	oh := ConvDims(h, kh, stride, pad)
+	ow := ConvDims(wd, kw, stride, pad)
+	got := New(n, outC, oh, ow)
+	ws := NewWorkspace()
+	Conv2DBiasInto(ws, got, img, w, bias, kh, kw, stride, pad, pad)
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := bias.Data()[oc]
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								acc += img.Data()[((b*c+ch)*h+iy)*wd+ix] * w.Data()[((ch*kh+ky)*kw+kx)*outC+oc]
+							}
+						}
+					}
+					if diff := math.Abs(got.Data()[((b*outC+oc)*oh+oy)*ow+ox] - acc); diff > 1e-9 {
+						t.Fatalf("strided conv off by %g at (%d,%d,%d,%d)", diff, b, oc, oy, ox)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDTypeBasics(t *testing.T) {
+	t32 := NewOf(Float32, 2, 3)
+	if t32.DType() != Float32 || t32.Size() != 6 {
+		t.Fatal("NewOf(Float32) metadata")
+	}
+	t32.Set(1.5, 0, 1)
+	if t32.At(0, 1) != 1.5 {
+		t.Fatal("float32 At/Set")
+	}
+	f := FromSlice32([]float32{1, 2, 3, 4}, 2, 2)
+	back := f.Convert(Float64).Convert(Float32)
+	if !bitEqual32(f, back) {
+		t.Fatal("Convert round trip must be exact for float32 values")
+	}
+	cl := f.Clone()
+	cl.Set(9, 0, 0)
+	if f.At(0, 0) == 9 {
+		t.Fatal("Clone must deep-copy float32 storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Data() on float32 tensor must panic")
+		}
+	}()
+	_ = f.Data()
+}
+
+func TestWorkspaceGetOfDTypes(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.GetOf(Float32, 4, 4)
+	b := ws.Get(4, 4)
+	if a.DType() != Float32 || b.DType() != Float64 {
+		t.Fatal("GetOf dtype")
+	}
+	a.Data32()[0] = 1
+	ws.Put(a)
+	ws.Put(b)
+	a2 := ws.GetOf(Float32, 4, 4)
+	if a2.DType() != Float32 {
+		t.Fatal("float32 free list must return float32 tensors")
+	}
+	if a2.Data32()[0] != 0 {
+		t.Fatal("reused workspace tensor must be zeroed")
+	}
+	b2 := ws.Get(4, 4)
+	if b2.DType() != Float64 {
+		t.Fatal("float64 free list polluted by float32 tensor")
+	}
+}
+
+func BenchmarkMatMulGFLOPS(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		for _, dt := range []DType{Float64, Float32} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, dt), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				x := Randn(rng, 1, n, n).Convert(dt)
+				y := Randn(rng, 1, n, n).Convert(dt)
+				out := NewOf(dt, n, n)
+				flops := 2 * float64(n) * float64(n) * float64(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulInto(out, x, y)
+				}
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+			})
+		}
+	}
+}
+
+func BenchmarkConvGFLOPS(b *testing.B) {
+	// BigEarthNet-scale stride-1 layer: 8×(16→32)×64×64, 3×3, pad 1.
+	n, c, h, w, outC, k := 8, 16, 64, 64, 32, 3
+	rng := rand.New(rand.NewSource(2))
+	img := Randn(rng, 1, n, c, h, w)
+	wt := Randn(rng, 1, c*k*k, outC)
+	bias := Randn(rng, 1, outC)
+	out := New(n, outC, h, w)
+	flops := 2 * float64(n) * float64(outC) * float64(h) * float64(w) * float64(c) * float64(k) * float64(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DBiasInto(nil, out, img, wt, bias, k, k, 1, 1, 1)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}

@@ -1,87 +1,57 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+// The matmul family. Every entry point below is a thin shim over the
+// shared GEMM engine in kernel.go: one floating-point contract (exactly
+// rounded FMA accumulation in ascending-k order, seeded from the output's
+// prior value), one parallel runtime (parallel.go), one packed blocked
+// kernel, and optional fused epilogues (bias add + activation) that
+// replace the separate AddRowVector/Apply passes the layers used to run.
+//
+// Naming: MatMul is a·b, MatMulT is a·bᵀ, TMatMul is aᵀ·b (none
+// materialize a transpose). The Acc variants add on top of out instead of
+// overwriting it — the FMA chain simply starts from out's current values,
+// so out += a·b costs the same as out = a·b and needs no temporary.
 
-// matmulParallelThreshold is the minimum number of result elements below
-// which MatMul stays single-threaded; spawning goroutines for tiny products
-// costs more than it saves.
-const matmulParallelThreshold = 64 * 64
-
-// MatMul returns a×b for 2-D tensors of shapes (M,K) and (K,N). The kernel
-// is a cache-blocked ikj loop parallelized over row bands.
+// MatMul returns a×b for 2-D tensors of shapes (M,K) and (K,N).
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
 	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
-	}
-	out := New(m, n)
-	MatMulInto(out, a, b)
+	out := NewOf(a.dtype, a.shape[0], b.shape[1])
+	gemmEx(gemmNN, out, a, b, nil, EpNone, false)
 	return out
 }
 
 // MatMulInto computes out = a×b, reusing out's storage. out must have
 // shape (M,N) and is overwritten.
 func MatMulInto(out, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if out.shape[0] != m || out.shape[1] != n {
-		panic("tensor: MatMulInto output shape mismatch")
-	}
-	out.Zero()
-	workers := runtime.GOMAXPROCS(0)
-	if m*n < matmulParallelThreshold || workers <= 1 {
-		matmulRange(out.data, a.data, b.data, 0, m, k, n)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * band
-		hi := lo + band
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRange(out.data, a.data, b.data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmEx(gemmNN, out, a, b, nil, EpNone, false)
 }
 
-// matmulRange computes rows [lo,hi) of out += a×b using an ikj ordering,
-// which streams through b row-by-row and keeps the innermost loop a
-// contiguous saxpy the compiler vectorizes well.
-func matmulRange(out, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		orow := out[i*n : (i+1)*n]
-		arow := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+// MatMulAccInto computes out += a×b.
+func MatMulAccInto(out, a, b *Tensor) {
+	gemmEx(gemmNN, out, a, b, nil, EpNone, true)
+}
+
+// MatMulBiasInto computes out = a×b + bias, with bias (length N)
+// broadcast over rows — the fused Dense/conv forward. The bias is added
+// with a plain + after the full-K accumulation, exactly matching the
+// former separate AddRowVector pass.
+func MatMulBiasInto(out, a, b, bias *Tensor) {
+	gemmEx(gemmNN, out, a, b, bias, EpNone, false)
+}
+
+// MatMulBiasActInto computes out = act(a×b + bias) with the activation
+// fused into the kernel's epilogue.
+func MatMulBiasActInto(out, a, b, bias *Tensor, act Epilogue) {
+	gemmEx(gemmNN, out, a, b, bias, act, false)
+}
+
+// MatMulAccBiasActInto computes out = act(out + a×b + bias): the fused
+// GRU gate pattern (x·Wx already in out, then + h·Wh + bias, then the
+// gate activation).
+func MatMulAccBiasActInto(out, a, b, bias *Tensor, act Epilogue) {
+	gemmEx(gemmNN, out, a, b, bias, act, true)
 }
 
 // MatMulT returns a×bᵀ for shapes (M,K) and (N,K): a common pattern in
@@ -90,67 +60,20 @@ func MatMulT(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMulT requires 2-D tensors")
 	}
-	m, n := a.shape[0], b.shape[0]
-	out := New(m, n)
-	MatMulTInto(out, a, b)
+	out := NewOf(a.dtype, a.shape[0], b.shape[0])
+	gemmEx(gemmNT, out, a, b, nil, EpNone, false)
 	return out
 }
 
 // MatMulTInto computes out = a×bᵀ, reusing out's storage. out must have
 // shape (M,N) and is overwritten.
 func MatMulTInto(out, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
-	}
-	if out.shape[0] != m || out.shape[1] != n {
-		panic("tensor: MatMulTInto output shape mismatch")
-	}
-	workers := runtime.GOMAXPROCS(0)
-	// Serial fast path first, before anything that could allocate: the
-	// band closure below escapes to its goroutines, and materializing it
-	// here would put a heap allocation on every small matmul.
-	if m*n < matmulParallelThreshold || workers <= 1 {
-		matmulTRange(out.data, a.data, b.data, 0, m, k, n)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*band, (w+1)*band
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulTRange(out.data, a.data, b.data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmEx(gemmNT, out, a, b, nil, EpNone, false)
 }
 
-// matmulTRange computes rows [lo,hi) of out = a×bᵀ.
-func matmulTRange(out, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			s := 0.0
-			for p := range arow {
-				s += arow[p] * brow[p]
-			}
-			orow[j] = s
-		}
-	}
+// MatMulTAccInto computes out += a×bᵀ (input-gradient accumulation).
+func MatMulTAccInto(out, a, b *Tensor) {
+	gemmEx(gemmNT, out, a, b, nil, EpNone, true)
 }
 
 // TMatMul returns aᵀ×b for shapes (K,M) and (K,N) without materializing
@@ -159,37 +82,21 @@ func TMatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: TMatMul requires 2-D tensors")
 	}
-	m, n := a.shape[1], b.shape[1]
-	out := New(m, n)
-	TMatMulInto(out, a, b)
+	out := NewOf(a.dtype, a.shape[1], b.shape[1])
+	gemmEx(gemmTN, out, a, b, nil, EpNone, false)
 	return out
 }
 
 // TMatMulInto computes out = aᵀ×b, reusing out's storage. out must have
 // shape (M,N) and is overwritten.
 func TMatMulInto(out, a, b *Tensor) {
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
-	}
-	if out.shape[0] != m || out.shape[1] != n {
-		panic("tensor: TMatMulInto output shape mismatch")
-	}
-	out.Zero()
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	gemmEx(gemmTN, out, a, b, nil, EpNone, false)
+}
+
+// TMatMulAccInto computes out += aᵀ×b: the weight-gradient accumulation
+// (W.Grad += xᵀ·dy) fused into the kernel, with no gradient temporary.
+func TMatMulAccInto(out, a, b *Tensor) {
+	gemmEx(gemmTN, out, a, b, nil, EpNone, true)
 }
 
 // MatVec returns a×x for a (M,K) matrix and length-K vector, as shape (M).

@@ -5,63 +5,48 @@ import (
 	"math"
 )
 
-// checkSame panics unless a and b have identical shapes.
+// checkSame panics unless a and b have identical shapes and dtypes.
 func checkSame(op string, a, b *Tensor) {
 	if !SameShape(a, b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+	if a.dtype != b.dtype {
+		panic(fmt.Sprintf("tensor: %s dtype mismatch %v vs %v", op, a.dtype, b.dtype))
 	}
 }
 
 // Add returns a+b elementwise.
 func Add(a, b *Tensor) *Tensor {
 	checkSame("Add", a, b)
-	return AddInto(New(a.shape...), a, b)
+	return AddInto(NewOf(a.dtype, a.shape...), a, b)
 }
 
 // Sub returns a-b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	checkSame("Sub", a, b)
-	return SubInto(New(a.shape...), a, b)
+	return SubInto(NewOf(a.dtype, a.shape...), a, b)
 }
 
 // Mul returns a*b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
 	checkSame("Mul", a, b)
-	return MulInto(New(a.shape...), a, b)
+	return MulInto(NewOf(a.dtype, a.shape...), a, b)
 }
 
 // Div returns a/b elementwise.
 func Div(a, b *Tensor) *Tensor {
 	checkSame("Div", a, b)
-	return DivInto(New(a.shape...), a, b)
+	return DivInto(NewOf(a.dtype, a.shape...), a, b)
 }
 
 // AddInPlace sets a += b.
-func (t *Tensor) AddInPlace(b *Tensor) *Tensor {
-	checkSame("AddInPlace", t, b)
-	for i := range t.data {
-		t.data[i] += b.data[i]
-	}
-	return t
-}
+func (t *Tensor) AddInPlace(b *Tensor) *Tensor { return AddInto(t, t, b) }
 
 // SubInPlace sets a -= b.
-func (t *Tensor) SubInPlace(b *Tensor) *Tensor {
-	checkSame("SubInPlace", t, b)
-	for i := range t.data {
-		t.data[i] -= b.data[i]
-	}
-	return t
-}
+func (t *Tensor) SubInPlace(b *Tensor) *Tensor { return SubInto(t, t, b) }
 
 // MulInPlace sets a *= b elementwise.
-func (t *Tensor) MulInPlace(b *Tensor) *Tensor {
-	checkSame("MulInPlace", t, b)
-	for i := range t.data {
-		t.data[i] *= b.data[i]
-	}
-	return t
-}
+func (t *Tensor) MulInPlace(b *Tensor) *Tensor { return MulInto(t, t, b) }
 
 // Scale multiplies every element by s in place.
 func (t *Tensor) Scale(s float64) *Tensor {
@@ -89,16 +74,16 @@ func (t *Tensor) Axpy(alpha float64, x *Tensor) *Tensor {
 }
 
 // Apply returns a new tensor with f applied to each element.
+//
+// Deprecated: use ApplyInto with caller-managed (typically
+// Workspace-pooled) storage; this wrapper allocates on every call.
 func Apply(a *Tensor, f func(float64) float64) *Tensor {
-	return ApplyInto(New(a.shape...), a, f)
+	return ApplyInto(NewOf(a.dtype, a.shape...), a, f)
 }
 
 // ApplyInPlace applies f to each element in place.
 func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
-	for i := range t.data {
-		t.data[i] = f(t.data[i])
-	}
-	return t
+	return ApplyInto(t, t, f)
 }
 
 // Dot returns the inner product of a and b viewed as flat vectors.

@@ -1,0 +1,30 @@
+package tensor
+
+import "math"
+
+// Portable fallbacks for the SIMD kernels. math.FMA is exactly rounded
+// (the software path included), so these produce bit-identical results
+// to the AVX2 assembly on any architecture — the property the
+// cross-check tests pin.
+
+func gemm4x8Go(k int, ap, bp, c []float64, ldc int) {
+	for r := 0; r < 4; r++ {
+		crow := c[r*ldc : r*ldc+8]
+		for j := 0; j < 8; j++ {
+			acc := crow[j]
+			for p := 0; p < k; p++ {
+				acc = math.FMA(ap[p*4+r], bp[p*8+j], acc)
+			}
+			crow[j] = acc
+		}
+	}
+}
+
+func axpyFMAGo(alpha float64, x, y []float64) {
+	if len(x) < len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i := range y {
+		y[i] = math.FMA(alpha, x[i], y[i])
+	}
+}

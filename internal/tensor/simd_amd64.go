@@ -1,0 +1,61 @@
+//go:build amd64
+
+package tensor
+
+//go:noescape
+func gemm4x8AVX(k int, ap, bp, c *float64, ldc int)
+
+//go:noescape
+func axpyAVX(alpha float64, x, y *float64, n int)
+
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+// useAVX gates the assembly kernels on AVX2+FMA with OS-enabled YMM
+// state. Tests flip it to cross-check the assembly against the portable
+// math.FMA fallbacks bit for bit.
+var useAVX = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	if xlo, _ := xgetbvAsm(); xlo&0x6 != 0x6 { // XMM+YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuidAsm(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// gemm4x8 accumulates a 4×8 C tile (row stride ldc) with the packed
+// panels ap (4-wide, p-major) and bp (8-wide, p-major) over k steps.
+func gemm4x8(k int, ap, bp, c []float64, ldc int) {
+	if useAVX {
+		gemm4x8AVX(k, &ap[0], &bp[0], &c[0], ldc)
+		return
+	}
+	gemm4x8Go(k, ap, bp, c, ldc)
+}
+
+// axpyFMA performs y[i] = fma(alpha, x[i], y[i]) elementwise.
+func axpyFMA(alpha float64, x, y []float64) {
+	if len(y) == 0 {
+		return
+	}
+	if useAVX {
+		axpyAVX(alpha, &x[0], &y[0], len(y))
+		return
+	}
+	axpyFMAGo(alpha, x, y)
+}

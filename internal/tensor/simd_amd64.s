@@ -1,0 +1,139 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// The two hot kernels behind the packed/fused matmul and direct-conv
+// paths, written against AVX2+FMA (gated at runtime by useAVX, see
+// simd_amd64.go). Both accumulate with fused multiply-adds in ascending
+// p order per output element, so their results are bit-identical to the
+// scalar math.FMA reference kernels.
+
+// func gemm4x8AVX(k int, ap, bp, c *float64, ldc int)
+//
+// C (a 4×8 tile at c with row stride ldc doubles) accumulates
+// sum_p ap[p*4+r] * bp[p*8+j] on top of its current contents. Eight YMM
+// accumulators hold the tile; each p step is two B-panel loads, four A
+// broadcasts, and eight VFMADD231PD.
+TEXT ·gemm4x8AVX(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8
+	LEAQ (DX)(R8*1), R9
+	LEAQ (DX)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+	VMOVUPD (R9), Y2
+	VMOVUPD 32(R9), Y3
+	VMOVUPD (R10), Y4
+	VMOVUPD 32(R10), Y5
+	VMOVUPD (R11), Y6
+	VMOVUPD 32(R11), Y7
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPD      (DI), Y8
+	VMOVUPD      32(DI), Y9
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(SI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 24(SI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $32, SI
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          loop
+
+store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, (R9)
+	VMOVUPD Y3, 32(R9)
+	VMOVUPD Y4, (R10)
+	VMOVUPD Y5, 32(R10)
+	VMOVUPD Y6, (R11)
+	VMOVUPD Y7, 32(R11)
+	VZEROUPPER
+	RET
+
+// func axpyAVX(alpha float64, x, y *float64, n int)
+//
+// y[i] = fma(alpha, x[i], y[i]) for i in [0, n): the vectorized
+// saxpy-with-FMA behind the direct (unpacked) matmul and conv kernels.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ         x+8(FP), SI
+	MOVQ         y+16(FP), DI
+	MOVQ         n+24(FP), CX
+	MOVQ         CX, BX
+	SHRQ         $3, BX
+	JZ           tail4
+
+loop8:
+	VMOVUPD     (DI), Y1
+	VMOVUPD     32(DI), Y2
+	VFMADD231PD (SI), Y0, Y1
+	VFMADD231PD 32(SI), Y0, Y2
+	VMOVUPD     Y1, (DI)
+	VMOVUPD     Y2, 32(DI)
+	ADDQ        $64, SI
+	ADDQ        $64, DI
+	DECQ        BX
+	JNZ         loop8
+
+tail4:
+	TESTQ $4, CX
+	JZ    tail1
+	VMOVUPD     (DI), Y1
+	VFMADD231PD (SI), Y0, Y1
+	VMOVUPD     Y1, (DI)
+	ADDQ        $32, SI
+	ADDQ        $32, DI
+
+tail1:
+	ANDQ $3, CX
+	JZ   done
+
+scalar:
+	VMOVSD      (DI), X1
+	VMOVSD      (SI), X2
+	VFMADD231SD X2, X0, X1
+	VMOVSD      X1, (DI)
+	ADDQ        $8, SI
+	ADDQ        $8, DI
+	DECQ        CX
+	JNZ         scalar
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

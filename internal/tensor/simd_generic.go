@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package tensor
+
+// useAVX is false off amd64; the portable math.FMA kernels (exactly
+// rounded everywhere, with a software fallback where the hardware lacks
+// FMA) keep results bit-identical across architectures.
+var useAVX = false
+
+func gemm4x8(k int, ap, bp, c []float64, ldc int) {
+	gemm4x8Go(k, ap, bp, c, ldc)
+}
+
+func axpyFMA(alpha float64, x, y []float64) {
+	axpyFMAGo(alpha, x, y)
+}

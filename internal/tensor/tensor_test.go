@@ -3,7 +3,6 @@ package tensor
 import (
 	"math"
 	"math/rand"
-	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -482,11 +481,12 @@ func TestMatMulIntoReuse(t *testing.T) {
 }
 
 func TestMatMulParallelPath(t *testing.T) {
-	// On a single-core host GOMAXPROCS defaults to 1 and the banded
-	// goroutine path never runs; force it so the parallel kernel is
-	// exercised and verified.
-	old := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(old)
+	// On a single-core host the worker pool defaults to one participant
+	// and the parallel path never runs; force it (and a tiny grain) so
+	// the work-stealing kernel is exercised and verified.
+	w, g := Workers(), loadCfg().grain
+	Configure(WithWorkers(4), WithGrain(1024))
+	t.Cleanup(func() { Configure(WithWorkers(w), WithGrain(g)) })
 	rng := rand.New(rand.NewSource(77))
 	a := Randn(rng, 1, 96, 70)
 	b := Randn(rng, 1, 70, 90)

@@ -33,8 +33,10 @@ import (
 type Workspace struct {
 	// free holds recycled tensors by capacity class: class c stores
 	// tensors whose data capacity is exactly 1<<c (class 0 also holds
-	// empty tensors).
-	free [maxSizeClass][]*Tensor
+	// empty tensors). float32 tensors recycle through their own lists so
+	// a slot never changes dtype.
+	free   [maxSizeClass][]*Tensor
+	free32 [maxSizeClass][]*Tensor
 	// live tracks outstanding borrows so ReleaseAll can recycle them and
 	// leak checks can count them. A borrowed tensor remembers its index
 	// here (wsIdx) for O(1) early release.
@@ -57,12 +59,18 @@ func sizeClass(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
-// Get borrows a zero-filled tensor of the given shape. On a nil workspace
-// it is exactly New. The returned tensor must not be retained past the
-// owner's next ReleaseAll.
+// Get borrows a zero-filled float64 tensor of the given shape. On a nil
+// workspace it is exactly New. The returned tensor must not be retained
+// past the owner's next ReleaseAll.
 func (w *Workspace) Get(shape ...int) *Tensor {
+	return w.GetOf(Float64, shape...)
+}
+
+// GetOf borrows a zero-filled tensor of the given dtype and shape. On a
+// nil workspace it is exactly NewOf.
+func (w *Workspace) GetOf(dt DType, shape ...int) *Tensor {
 	if w == nil {
-		return New(shape...)
+		return NewOf(dt, shape...)
 	}
 	n := 1
 	for _, d := range shape {
@@ -74,14 +82,25 @@ func (w *Workspace) Get(shape ...int) *Tensor {
 		n *= d
 	}
 	c := sizeClass(n)
+	lists := &w.free
+	if dt == Float32 {
+		lists = &w.free32
+	}
 	var t *Tensor
-	if fl := w.free[c]; len(fl) > 0 {
+	if fl := lists[c]; len(fl) > 0 {
 		t = fl[len(fl)-1]
 		fl[len(fl)-1] = nil
-		w.free[c] = fl[:len(fl)-1]
-		t.data = t.data[:n]
-		for i := range t.data {
-			t.data[i] = 0
+		lists[c] = fl[:len(fl)-1]
+		if dt == Float32 {
+			t.data32 = t.data32[:n]
+			for i := range t.data32 {
+				t.data32[i] = 0
+			}
+		} else {
+			t.data = t.data[:n]
+			for i := range t.data {
+				t.data[i] = 0
+			}
 		}
 		t.shape = append(t.shape[:0], shape...)
 	} else {
@@ -89,7 +108,12 @@ func (w *Workspace) Get(shape ...int) *Tensor {
 		if n > 1 {
 			capN = 1 << c
 		}
-		t = &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n, capN)}
+		t = &Tensor{shape: append([]int(nil), shape...), dtype: dt}
+		if dt == Float32 {
+			t.data32 = make([]float32, n, capN)
+		} else {
+			t.data = make([]float64, n, capN)
+		}
 		w.news++
 	}
 	t.wsIdx = len(w.live)
@@ -138,11 +162,17 @@ func (w *Workspace) ReleaseAll() {
 
 func (w *Workspace) recycle(t *Tensor) {
 	t.wsIdx = -1
-	c := sizeClass(cap(t.data))
+	capN := cap(t.data)
+	lists := &w.free
+	if t.dtype == Float32 {
+		capN = cap(t.data32)
+		lists = &w.free32
+	}
+	c := sizeClass(capN)
 	// Only pow-of-two capacities are pooled; Get allocates them that way,
 	// so this is just a guard against foreign tensors sneaking in.
-	if cap(t.data) == 0 || cap(t.data) == 1<<c || cap(t.data) == 1 {
-		w.free[c] = append(w.free[c], t)
+	if capN == 0 || capN == 1<<c || capN == 1 {
+		lists[c] = append(lists[c], t)
 	}
 }
 
