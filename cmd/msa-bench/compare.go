@@ -134,6 +134,28 @@ func compareReports(oldRep, newRep *benchReport, opts compareOpts, w io.Writer) 
 				fail("%s: optimized kernel slower than naive reference (%.2fx)", old.Name, cur.Speedup)
 			}
 		}
+		// Allreduce-scaling rows gate on effective bus bandwidth
+		// (relative, hosts jitter) and on the combine-phase speedup,
+		// which is host-independent and carries a hard ≥2 floor: below
+		// that the SIMD+parallel fast path has rotted back toward the
+		// serial scalar loop it replaced.
+		if old.GBps > 0 || cur.GBps > 0 {
+			row(old.Name, "GB/s", old.GBps, cur.GBps)
+			if old.GBps > 0 && cur.GBps < old.GBps*(1-opts.tolThroughput) {
+				fail("%s: %.2f -> %.2f GB/s effective (allowed drop %.0f%%)",
+					old.Name, old.GBps, cur.GBps, opts.tolThroughput*100)
+			}
+		}
+		if old.CombineSpeedup > 0 || cur.CombineSpeedup > 0 {
+			row(old.Name, "combine-x", old.CombineSpeedup, cur.CombineSpeedup)
+			if cur.CombineSpeedup < 2 {
+				fail("%s: combine speedup %.2fx below the 2x floor", old.Name, cur.CombineSpeedup)
+			}
+			if old.CombineSpeedup > 0 && cur.CombineSpeedup < old.CombineSpeedup*(1-opts.tolThroughput) {
+				fail("%s: combine speedup %.1fx -> %.1fx (allowed drop %.0f%%)",
+					old.Name, old.CombineSpeedup, cur.CombineSpeedup, opts.tolThroughput*100)
+			}
+		}
 		// Serving rows carry latency/shed/cache gates too.
 		if old.P99Ms > 0 || cur.P99Ms > 0 {
 			row(old.Name, "p99_ms", old.P99Ms, cur.P99Ms)

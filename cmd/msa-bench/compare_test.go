@@ -49,6 +49,19 @@ func soakRow(t *testing.T, r *benchReport) *benchWorkload {
 	return nil
 }
 
+// namedRow finds a workload by name; the baseline must carry it so the
+// corresponding gates stay live.
+func namedRow(t *testing.T, r *benchReport, name string) *benchWorkload {
+	t.Helper()
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == name {
+			return &r.Workloads[i]
+		}
+	}
+	t.Fatalf("baseline has no %s workload", name)
+	return nil
+}
+
 // Injected regressions beyond tolerance must each be caught, and
 // improvements in the same metrics must not be.
 func TestCompareCatchesInjectedRegressions(t *testing.T) {
@@ -64,6 +77,23 @@ func TestCompareCatchesInjectedRegressions(t *testing.T) {
 		fn(&cp)
 		return &cp
 	}
+
+	// The combine-speedup gate is two conditions (hard >=2 floor,
+	// relative drop vs baseline) that can fire together, depending on
+	// where the committed baseline sits; compute the expected counts
+	// rather than hard-coding them.
+	combBase := namedRow(t, base, "allreduce-combine-seg").CombineSpeedup
+	combFires := func(v float64) int {
+		n := 0
+		if v < 2 {
+			n++
+		}
+		if v < combBase*(1-opts.tolThroughput) {
+			n++
+		}
+		return n
+	}
+	combDrop := combBase * (1 - opts.tolThroughput - 0.05)
 
 	cases := []struct {
 		name string
@@ -102,6 +132,19 @@ func TestCompareCatchesInjectedRegressions(t *testing.T) {
 			wl := soakRow(t, r)
 			wl.CacheHitRate -= opts.tolFraction + 0.01
 		}, 1},
+		{"bus bandwidth collapse", func(r *benchReport) {
+			wl := namedRow(t, r, "allreduce-ring-p4-4MB")
+			wl.GBps *= 1 - opts.tolThroughput - 0.05
+		}, 1},
+		{"bus bandwidth gain ok", func(r *benchReport) {
+			namedRow(t, r, "allreduce-ring-p4-4MB").GBps *= 2
+		}, 0},
+		{"combine speedup below floor", func(r *benchReport) {
+			namedRow(t, r, "allreduce-combine-seg").CombineSpeedup = 1.5
+		}, combFires(1.5)},
+		{"combine speedup relative drop", func(r *benchReport) {
+			namedRow(t, r, "allreduce-combine-seg").CombineSpeedup = combDrop
+		}, combFires(combDrop)},
 		{"two regressions", func(r *benchReport) {
 			r.Workloads[0].Throughput = 0.001
 			r.Workloads[1].CommFraction = 1

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/tensor"
+)
+
+// Rank-scaling curves for the communication fast path (ISSUE 10): each
+// allreduce algorithm is swept across rank counts and payload sizes, and
+// the rows record effective bus bandwidth — the NCCL convention
+// 2·(p-1)/p · bytes / time, which is rank-count-invariant for a
+// bandwidth-optimal ring, so a flat curve means perfect scaling. Large
+// payload rows also split time into combine (SIMD reduction) vs wire
+// (copy + mailbox) so regressions in either half are attributable.
+
+const (
+	smallPayloadElems = 512    // 4 KB — latency-bound regime
+	largePayloadElems = 524288 // 4 MB — bandwidth-bound regime
+)
+
+func payloadLabel(elems int) string {
+	if elems >= 131072 {
+		return fmt.Sprintf("%dMB", elems*8/(1<<20))
+	}
+	return fmt.Sprintf("%dKB", elems*8/(1<<10))
+}
+
+// scalingRows measures the allreduce rank-scaling curves plus the
+// elementwise-SIMD and combine-phase speedup rows.
+func scalingRows() []benchWorkload {
+	var rows []benchWorkload
+	for _, algo := range []mpi.Algo{mpi.AlgoRing, mpi.AlgoRecursiveDoubling} {
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			for _, elems := range []int{smallPayloadElems, largePayloadElems} {
+				rows = append(rows, allreduceRow(algo, p, 0, elems))
+			}
+		}
+	}
+	for _, p := range []int{4, 8, 16} {
+		for _, elems := range []int{smallPayloadElems, largePayloadElems} {
+			rows = append(rows, allreduceRow("hierarchical", p, 4, elems))
+		}
+	}
+	rows = append(rows, elementwiseRow(), combineRow())
+	return rows
+}
+
+// allreduceRow times one (algo, ranks, payload) cell. All ranks run the
+// collective in lockstep; rank 0's wall clock over the iteration window
+// is the row's time (the collective is a barrier, so any rank's clock
+// measures the slowest path). groupSize > 0 selects the hierarchical
+// allreduce with that module size.
+func allreduceRow(algo mpi.Algo, p, groupSize, elems int) benchWorkload {
+	iters := 200
+	if elems >= largePayloadElems {
+		iters = 8
+	}
+	var combineNS, wallNS int64
+	w := mpi.NewWorld(p)
+	err := w.Run(func(c *mpi.Comm) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		data := make([]float64, elems)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		// Per-rank timed op: only rank 0's combine time is read. The
+		// wrapper costs two clock reads per Combine call — noise next to
+		// an n/p-element fold on the large rows, which are the only ones
+		// that publish the split.
+		op := mpi.OpSum
+		if c.Rank() == 0 && elems >= largePayloadElems {
+			op = mpi.ReduceOp{Name: "sum", Combine: func(dst, src []float64) {
+				t0 := time.Now()
+				mpi.OpSum.Combine(dst, src)
+				atomic.AddInt64(&combineNS, time.Since(t0).Nanoseconds())
+			}}
+		}
+		run := func() {
+			if groupSize > 0 {
+				c.HierarchicalAllreduce(data, op, groupSize)
+			} else {
+				c.AllreduceInPlace(data, op, algo)
+			}
+		}
+		run() // warm-up: fill the wire pool buckets
+		c.Barrier()
+		atomic.StoreInt64(&combineNS, 0)
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			run()
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			atomic.StoreInt64(&wallNS, time.Since(t0).Nanoseconds())
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	name := fmt.Sprintf("allreduce-%s-p%d-%s", algoSlug(algo, groupSize), p, payloadLabel(elems))
+	secs := float64(wallNS) / 1e9 / float64(iters)
+	row := benchWorkload{
+		Name: name, Workers: tensor.Workers(), Steps: iters,
+		Ranks: p, PayloadBytes: elems * 8, WallSeconds: secs,
+	}
+	// Bus-bandwidth factor 2·(p-1)/p is 0 at p=1: a single-rank in-place
+	// allreduce moves no bytes, so the row records only wall time and
+	// GBps stays 0 (which also keeps it out of the -compare gate — a
+	// no-op's timing is all jitter).
+	if secs > 0 && p > 1 {
+		row.GBps = float64(elems*8) * 2 * float64(p-1) / float64(p) / secs / 1e9
+	}
+	if wallNS > 0 && combineNS > 0 {
+		row.CombineFraction = float64(combineNS) / float64(wallNS)
+	}
+	return row
+}
+
+func algoSlug(algo mpi.Algo, groupSize int) string {
+	if groupSize > 0 {
+		return fmt.Sprintf("hier-g%d", groupSize)
+	}
+	if algo == mpi.AlgoRecursiveDoubling {
+		return "recdbl"
+	}
+	return string(algo)
+}
+
+// elementwiseRow benchmarks the shared SIMD vector-op layer against the
+// scalar loop it replaced, on an L2-resident operand so the comparison
+// measures compute, not DRAM.
+func elementwiseRow() benchWorkload {
+	const n = 32768 // 256 KB working set
+	rng := rand.New(rand.NewSource(31))
+	a, b, dst := make([]float64, n), make([]float64, n), make([]float64, n)
+	for i := range a {
+		a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	s := secsPerOp(100*time.Millisecond, func() { tensor.VecAddInto(dst, a, b) })
+	r := secsPerOp(100*time.Millisecond, func() {
+		for i := range dst {
+			dst[i] = a[i] + b[i]
+		}
+	})
+	w := benchWorkload{
+		Name: "elementwise-simd", Workers: tensor.Workers(), Steps: 1,
+		GFLOPS: n / s / 1e9, RefGFLOPS: n / r / 1e9, WallSeconds: s,
+	}
+	if w.RefGFLOPS > 0 {
+		w.Speedup = w.GFLOPS / w.RefGFLOPS
+	}
+	return w
+}
+
+// combineRow pins the headline ISSUE-10 property: the SIMD + parallel
+// OpSum.Combine must fold a ring segment at least 2× faster than the
+// serial scalar loop the collectives used to run. The operand is the
+// per-rank segment of the 4 MB payload on an 8-rank ring (512 KB,
+// cache-resident) — that is what the reduce-scatter phase actually
+// folds; a full 4 MB single fold would measure DRAM, not the kernel.
+// -compare enforces the floor as a hard gate, so this row failing means
+// the fast path itself rotted, not the host.
+func combineRow() benchWorkload {
+	const n = largePayloadElems / 8
+	rng := rand.New(rand.NewSource(37))
+	src, dst := make([]float64, n), make([]float64, n)
+	for i := range src {
+		src[i], dst[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	s := secsPerOp(100*time.Millisecond, func() { mpi.OpSum.Combine(dst, src) })
+	r := secsPerOp(100*time.Millisecond, func() {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	})
+	w := benchWorkload{
+		Name: "allreduce-combine-seg", Workers: tensor.Workers(), Steps: 1,
+		PayloadBytes: n * 8, WallSeconds: s,
+	}
+	if s > 0 {
+		w.CombineSpeedup = r / s
+	}
+	return w
+}
+
+// measureRingInPlaceAllocs is the alloc gate for the zero-copy blocking
+// ring: steady-state allocations per AllreduceInPlace call on a 2-rank
+// world (process-global, so it includes the partner's work — which is
+// the same call and must also be allocation-free).
+func measureRingInPlaceAllocs() float64 {
+	w := mpi.NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	data0 := make([]float64, 8192)
+	data1 := make([]float64, 8192)
+	const warm, runs = 4, 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < warm+runs; i++ {
+			c1.AllreduceInPlace(data1, mpi.OpSum, mpi.AlgoRing)
+		}
+	}()
+	for i := 0; i < warm; i++ {
+		c0.AllreduceInPlace(data0, mpi.OpSum, mpi.AlgoRing)
+	}
+	allocs := allocsOver(func() {
+		for i := 0; i < runs; i++ {
+			c0.AllreduceInPlace(data0, mpi.OpSum, mpi.AlgoRing)
+		}
+	}) / runs
+	<-done
+	return allocs
+}

@@ -55,6 +55,18 @@ type benchWorkload struct {
 	GFLOPS    float64 `json:"gflops,omitempty"`
 	RefGFLOPS float64 `json:"ref_gflops,omitempty"`
 	Speedup   float64 `json:"speedup_vs_ref,omitempty"`
+
+	// Allreduce-scaling metrics (allreduce-* rows only). GBps is the
+	// effective bus bandwidth 2·(p-1)/p · bytes / time (flat across rank
+	// counts for a perfect ring); CombineFraction splits the time into
+	// SIMD reduction vs wire traffic on bandwidth-bound rows; and
+	// CombineSpeedup (SIMD+parallel Combine vs the serial scalar loop,
+	// host speed divides out) carries a hard ≥2 floor in -compare.
+	Ranks           int     `json:"ranks,omitempty"`
+	PayloadBytes    int     `json:"payload_bytes,omitempty"`
+	GBps            float64 `json:"gbps_effective,omitempty"`
+	CombineFraction float64 `json:"combine_fraction,omitempty"`
+	CombineSpeedup  float64 `json:"combine_speedup,omitempty"`
 }
 
 type benchAllocGate struct {
@@ -138,6 +150,20 @@ func runSuite(path string) error {
 			w.Name, w.GFLOPS, w.RefGFLOPS, w.Speedup)
 	}
 
+	for _, w := range scalingRows() {
+		rep.Workloads = append(rep.Workloads, w)
+		switch {
+		case w.CombineSpeedup > 0:
+			fmt.Printf("  %-26s combine speedup %.1fx\n", w.Name, w.CombineSpeedup)
+		case w.GFLOPS > 0:
+			fmt.Printf("  %-26s %7.2f GFLOP/s    ref %.2f  speedup %.1fx\n",
+				w.Name, w.GFLOPS, w.RefGFLOPS, w.Speedup)
+		default:
+			fmt.Printf("  %-26s %7.2f GB/s effective  combine %.2f\n",
+				w.Name, w.GBps, w.CombineFraction)
+		}
+	}
+
 	soak, err := runServeSoak()
 	if err != nil {
 		return err
@@ -156,6 +182,11 @@ func runSuite(path string) error {
 			Name:        "pipeline-step-3stage",
 			AllocsPerOp: measurePipelineStepAllocs(),
 			Description: "heap allocations per steady-state 3-stage pipeline step, summed across ranks",
+		},
+		benchAllocGate{
+			Name:        "allreduce-ring-inplace",
+			AllocsPerOp: measureRingInPlaceAllocs(),
+			Description: "heap allocations per steady-state 2-rank blocking AllreduceInPlace (zero-copy wire-pooled ring), both ranks included",
 		},
 	)
 	for _, g := range rep.AllocGates {

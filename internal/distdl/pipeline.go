@@ -113,10 +113,7 @@ func (t *PipelineTrainer) chunkHook(chunk int, params []*nn.Param) {
 	c0 := time.Now()
 	t.dp.AllreduceInPlace(buf, mpi.OpSum)
 	t.commNS += time.Since(c0).Nanoseconds()
-	inv := 1 / float64(t.dp.Size())
-	for i := range buf {
-		buf[i] *= inv
-	}
+	tensor.VecScaleInto(buf, buf, 1/float64(t.dp.Size()))
 	nn.UnflattenGrads(params, buf)
 }
 

@@ -260,7 +260,7 @@ func (t *Trainer) syncMonolithic(tr *telemetry.Tracer, rank int) {
 	commStart := tr.Start()
 	c1 := time.Now()
 	if t.Comm.Size() > 1 {
-		flat = t.Comm.AllreduceMean(flat, t.Cfg.Algo)
+		t.Comm.AllreduceMeanInPlace(flat, t.Cfg.Algo)
 		t.chargeGradBytes(len(flat))
 	}
 	t.CommNs += time.Since(c1).Nanoseconds()
@@ -281,13 +281,11 @@ func (t *Trainer) syncBucketsBlocking(tr *telemetry.Tracer, rank int) {
 		}
 		commStart := tr.Start()
 		c1 := time.Now()
-		out := t.Comm.Allreduce(flat, mpi.OpSum, t.Cfg.Algo)
+		t.Comm.AllreduceInPlace(flat, mpi.OpSum, t.Cfg.Algo)
 		t.CommNs += time.Since(c1).Nanoseconds()
 		t.chargeGradBytes(bk.Elems)
-		for i := range out {
-			out[i] *= inv
-		}
-		bk.Unpack(out)
+		tensor.VecScaleInto(flat, flat, inv)
+		bk.Unpack(flat)
 		tr.End(rank, telemetry.CatComm, fmt.Sprintf("grad-sync:bucket%d", bk.Index),
 			commStart, int64(bk.Elems)*t.bytesPerElem(), string(t.Cfg.Algo))
 	}
@@ -349,9 +347,7 @@ func (t *Trainer) drainBuckets(tr *telemetry.Tracer, rank int, bwdEnd time.Time)
 			atomic.AddInt64(&t.overlapTotalNs, total.Nanoseconds())
 		}
 		t.chargeGradBytes(bk.Elems)
-		for i := range flat {
-			flat[i] *= inv
-		}
+		tensor.VecScaleInto(flat, flat, inv)
 		bk.Unpack(flat)
 		tr.End(rank, telemetry.CatComm, fmt.Sprintf("grad-sync:bucket%d", bi),
 			waitStart, int64(bk.Elems)*t.bytesPerElem(), "iallreduce-ring")

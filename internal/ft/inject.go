@@ -162,9 +162,19 @@ func (inj *Injector) IallreduceShared(buf []float64, op mpi.ReduceOp) *mpi.Allre
 	return inj.inner.IallreduceShared(buf, op)
 }
 
+func (inj *Injector) AllreduceInPlace(data []float64, op mpi.ReduceOp, algo mpi.Algo) {
+	inj.straggle()
+	inj.inner.AllreduceInPlace(data, op, algo)
+}
+
 func (inj *Injector) AllreduceMean(data []float64, algo mpi.Algo) []float64 {
 	inj.straggle()
 	return inj.inner.AllreduceMean(data, algo)
+}
+
+func (inj *Injector) AllreduceMeanInPlace(data []float64, algo mpi.Algo) {
+	inj.straggle()
+	inj.inner.AllreduceMeanInPlace(data, algo)
 }
 
 func (inj *Injector) AllreduceScalar(v float64, op mpi.ReduceOp) float64 {

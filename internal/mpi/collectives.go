@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/tensor"
 )
 
 // Reserved internal tags (≥ maxUserTag). Collectives issued in the same
@@ -29,31 +31,26 @@ type ReduceOp struct {
 	Combine func(dst, src []float64)
 }
 
-// Built-in reduction operations.
+// Built-in reduction operations. Each Combine dispatches to the shared
+// SIMD vector-op layer (tensor/vec.go): elementwise folds are bitwise
+// invariant under vectorization and range splitting, so results are
+// identical to the historical scalar loops — including NaN propagation
+// (dst keeps its NaN for max/min; the scalar `>`/`<` is false against
+// NaN) — on the AVX2 path, the pure-Go path, and any worker count. Large
+// combines parallelize through tensor.ParallelFor, so the -kernel-workers
+// knob bounds collective combine parallelism too.
 var (
 	OpSum = ReduceOp{"sum", func(dst, src []float64) {
-		for i := range dst {
-			dst[i] += src[i]
-		}
+		tensor.VecAddInto(dst, dst, src)
 	}}
 	OpMax = ReduceOp{"max", func(dst, src []float64) {
-		for i := range dst {
-			if src[i] > dst[i] {
-				dst[i] = src[i]
-			}
-		}
+		tensor.VecMaxInto(dst, dst, src)
 	}}
 	OpMin = ReduceOp{"min", func(dst, src []float64) {
-		for i := range dst {
-			if src[i] < dst[i] {
-				dst[i] = src[i]
-			}
-		}
+		tensor.VecMinInto(dst, dst, src)
 	}}
 	OpProd = ReduceOp{"prod", func(dst, src []float64) {
-		for i := range dst {
-			dst[i] *= src[i]
-		}
+		tensor.VecMulInto(dst, dst, src)
 	}}
 )
 
@@ -142,7 +139,11 @@ func nextPow2Above(vr int) int {
 func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 	p := c.Size()
 	defer c.collective(KindReduce, len(data), op.Name)()
-	acc := append([]float64(nil), data...)
+	// acc comes from the wire pool: the root's copy leaves as the caller-
+	// owned result (receiver-owns contract, pool refills on demand), while
+	// non-root copies die at their Send and go straight back.
+	acc := c.world.wire.get(len(data))
+	copy(acc, data)
 	if p == 1 {
 		return acc
 	}
@@ -151,6 +152,7 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 		if vr&dist != 0 {
 			parent := (vr - dist + root) % p
 			c.Send(parent, tagReduce, acc)
+			c.world.wire.put(acc)
 			return nil
 		}
 		if vr+dist < p {
@@ -171,7 +173,9 @@ func (c *Comm) Allreduce(data []float64, op ReduceOp, algo Algo) []float64 {
 	// attributable per-regime in the trace.
 	defer c.collective(KindAllreduce, len(data), string(algo))()
 	if c.Size() == 1 {
-		return append([]float64(nil), data...)
+		out := c.world.wire.get(len(data))
+		copy(out, data)
+		return out
 	}
 	switch algo {
 	case AlgoNaive:
@@ -190,6 +194,87 @@ func (c *Comm) Allreduce(data []float64, op ReduceOp, algo Algo) []float64 {
 		return c.world.gce.allreduce(data, op)
 	default:
 		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %q", algo))
+	}
+}
+
+// AllreduceInPlace combines data across all ranks with op, overwriting
+// data with the result on every rank — the zero-copy twin of Allreduce.
+// Ring and recursive doubling have native in-place cores whose wire
+// buffers fully recirculate through the pool (zero allocations in steady
+// state, and bitwise identical to the allocating forms); the remaining
+// algorithms run their allocating path and copy back, returning the
+// intermediate to the pool. This is the path distdl bucket sync and the
+// pipeline gradient drain ride.
+func (c *Comm) AllreduceInPlace(data []float64, op ReduceOp, algo Algo) {
+	algo = c.resolveAlgo(algo, len(data))
+	defer c.collective(KindAllreduce, len(data), inPlaceAttr(algo))()
+	if c.Size() == 1 {
+		return
+	}
+	switch algo {
+	case AlgoRing:
+		c.allreduceRingInPlace(data, op)
+	case AlgoRecursiveDoubling:
+		c.allreduceRecDoublingInPlace(data, op)
+	case AlgoNaive:
+		out := c.allreduceNaive(data, op)
+		copy(data, out)
+		c.world.wire.put(out)
+	case AlgoTree:
+		out := c.Reduce(0, data, op)
+		if c.rank != 0 {
+			out = nil
+		}
+		// Root's result is its own reduce accumulator (already copied onto
+		// the wire by Bcast's sends); non-roots exclusively own the buffer
+		// Bcast received. Either way out is dead after the copy-back.
+		out = c.Bcast(0, out)
+		copy(data, out)
+		c.world.wire.put(out)
+	case AlgoGCE:
+		out := c.world.gce.allreduce(data, op)
+		copy(data, out)
+		c.world.wire.put(out)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %q", algo))
+	}
+}
+
+// allreduceRecDoublingInPlace mirrors allreduceRecDoubling but combines
+// into data, with the final vector received straight into data on the
+// pre-adjust ranks.
+func (c *Comm) allreduceRecDoublingInPlace(data []float64, op ReduceOp) {
+	p, r := c.Size(), c.rank
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	if r >= p2 {
+		c.Send(r-p2, tagRecAdjust, data)
+		c.RecvInto(r-p2, tagRecAdjust, data)
+		return
+	}
+	c.recDoublingCore(data, op, p2)
+}
+
+// inPlaceAttr returns the span attribute for an in-place collective.
+// The strings are compile-time constants rather than a per-call
+// `algo+"-inplace"` concat: that one hidden allocation was the only
+// thing between the steady-state in-place ring and zero allocs/op.
+func inPlaceAttr(algo Algo) string {
+	switch algo {
+	case AlgoRing:
+		return "ring-inplace"
+	case AlgoRecursiveDoubling:
+		return "recursive-doubling-inplace"
+	case AlgoNaive:
+		return "naive-inplace"
+	case AlgoTree:
+		return "tree-inplace"
+	case AlgoGCE:
+		return "gce-inplace"
+	default:
+		return string(algo) + "-inplace"
 	}
 }
 
@@ -215,7 +300,8 @@ func (c *Comm) resolveAlgo(algo Algo, elems int) Algo {
 func (c *Comm) allreduceNaive(data []float64, op ReduceOp) []float64 {
 	p := c.Size()
 	if c.rank == 0 {
-		acc := append([]float64(nil), data...)
+		acc := c.world.wire.get(len(data))
+		copy(acc, data)
 		for src := 1; src < p; src++ {
 			part, _ := c.Recv(src, tagReduce)
 			op.Combine(acc, part)
@@ -241,33 +327,49 @@ func chunkBounds(n, p, i int) (int, int) {
 // a reduce-scatter pass (p-1 steps) followed by an allgather pass (p-1
 // steps); each rank sends 2·n·(p-1)/p elements total.
 func (c *Comm) allreduceRing(data []float64, op ReduceOp) []float64 {
+	acc := c.world.wire.get(len(data))
+	copy(acc, data)
+	c.allreduceRingInPlace(acc, op)
+	return acc
+}
+
+// allreduceRingInPlace is the ring algorithm combining directly into
+// data: ring segments arrive via RecvInto — the reduce-scatter phase
+// into one pooled scratch chunk, the allgather phase straight into its
+// destination window of data — so the steady state allocates nothing and
+// every wire buffer returns to the pool. The schedule (and therefore the
+// per-element combine order) is exactly allreduceRing's, so in-place and
+// allocating results are bitwise identical.
+func (c *Comm) allreduceRingInPlace(data []float64, op ReduceOp) {
 	p, r, n := c.Size(), c.rank, len(data)
-	acc := append([]float64(nil), data...)
+	if p == 1 {
+		return
+	}
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
+	scratch := c.world.wire.get((n + p - 1) / p)
 	// Reduce-scatter: after step s, rank r holds the partial reduction of
-	// chunk (r-s) from ranks r-s..r. Consumed chunks go back to the wire
-	// pool (see wirePool) — the combine/copy below is their last use.
+	// chunk (r-s) from ranks r-s..r.
 	for s := 0; s < p-1; s++ {
 		sendChunk := (r - s + p) % p
 		recvChunk := (r - s - 1 + p*2) % p
 		slo, shi := chunkBounds(n, p, sendChunk)
 		rlo, rhi := chunkBounds(n, p, recvChunk)
-		got := c.SendRecv(right, tagRingRS, acc[slo:shi], left, tagRingRS)
-		op.Combine(acc[rlo:rhi], got)
-		c.world.wire.put(got)
+		c.Send(right, tagRingRS, data[slo:shi])
+		got := scratch[:rhi-rlo]
+		c.RecvInto(left, tagRingRS, got)
+		op.Combine(data[rlo:rhi], got)
 	}
-	// Allgather: circulate the fully reduced chunks.
+	// Allgather: circulate the fully reduced chunks, received in place.
 	for s := 0; s < p-1; s++ {
 		sendChunk := (r + 1 - s + p*2) % p
 		recvChunk := (r - s + p*2) % p
 		slo, shi := chunkBounds(n, p, sendChunk)
-		rlo, _ := chunkBounds(n, p, recvChunk)
-		got := c.SendRecv(right, tagRingAG, acc[slo:shi], left, tagRingAG)
-		copy(acc[rlo:rlo+len(got)], got)
-		c.world.wire.put(got)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		c.Send(right, tagRingAG, data[slo:shi])
+		c.RecvInto(left, tagRingAG, data[rlo:rhi])
 	}
-	return acc
+	c.world.wire.put(scratch)
 }
 
 // allreduceRecDoubling implements the latency-optimal recursive-doubling
@@ -280,32 +382,44 @@ func (c *Comm) allreduceRecDoubling(data []float64, op ReduceOp) []float64 {
 	for p2*2 <= p {
 		p2 *= 2
 	}
-	rem := p - p2
-	acc := append([]float64(nil), data...)
-
-	// Pre-adjust: ranks >= p2 send their vector to rank-p2 and wait.
+	// Pre-adjust: ranks >= p2 send their vector to rank-p2 and wait for
+	// the final result. Send copies data onto the wire itself, and the
+	// received pool buffer is handed to the caller as-is (receiver-owns) —
+	// this path performs no copy of its own.
 	if r >= p2 {
-		c.Send(r-p2, tagRecAdjust, acc)
+		c.Send(r-p2, tagRecAdjust, data)
 		out, _ := c.Recv(r-p2, tagRecAdjust)
 		return out
 	}
+	acc := c.world.wire.get(len(data))
+	copy(acc, data)
+	c.recDoublingCore(acc, op, p2)
+	return acc
+}
+
+// recDoublingCore runs the recursive-doubling exchange for ranks < p2,
+// combining into acc; scratch circulation is fully pooled. Callers handle
+// the >= p2 pre-adjust ranks.
+func (c *Comm) recDoublingCore(acc []float64, op ReduceOp, p2 int) {
+	p, r := c.Size(), c.rank
+	rem := p - p2
+	scratch := c.world.wire.get(len(acc))
 	if r < rem {
-		part, _ := c.Recv(r+p2, tagRecAdjust)
-		op.Combine(acc, part)
-		c.world.wire.put(part)
+		c.RecvInto(r+p2, tagRecAdjust, scratch)
+		op.Combine(acc, scratch)
 	}
 	// Recursive doubling among the power-of-two group.
 	for dist := 1; dist < p2; dist *= 2 {
 		partner := r ^ dist
-		got := c.SendRecv(partner, tagRecDouble, acc, partner, tagRecDouble)
-		op.Combine(acc, got)
-		c.world.wire.put(got)
+		c.Send(partner, tagRecDouble, acc)
+		c.RecvInto(partner, tagRecDouble, scratch)
+		op.Combine(acc, scratch)
 	}
 	// Post-adjust: return results to the folded ranks.
 	if r < rem {
 		c.Send(r+p2, tagRecAdjust, acc)
 	}
-	return acc
+	c.world.wire.put(scratch)
 }
 
 // ReduceScatter reduces across ranks and leaves rank r holding chunk r of
@@ -314,9 +428,12 @@ func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
 	defer c.collective(KindReduceScatter, len(data), op.Name)()
 	p, r, n := c.Size(), c.rank, len(data)
 	if p == 1 {
-		return append([]float64(nil), data...)
+		out := c.world.wire.get(len(data))
+		copy(out, data)
+		return out
 	}
-	acc := append([]float64(nil), data...)
+	acc := c.world.wire.get(len(data))
+	copy(acc, data)
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
 	// Ring indices shifted by one relative to allreduceRing so that the
@@ -332,7 +449,10 @@ func (c *Comm) ReduceScatter(data []float64, op ReduceOp) []float64 {
 		c.world.wire.put(got)
 	}
 	lo, hi := chunkBounds(n, p, r)
-	return append([]float64(nil), acc[lo:hi]...)
+	out := c.world.wire.get(hi - lo)
+	copy(out, acc[lo:hi])
+	c.world.wire.put(acc)
+	return out
 }
 
 // Allgather concatenates every rank's equally-sized buffer in rank order
@@ -435,11 +555,16 @@ func (c *Comm) AllreduceScalar(v float64, op ReduceOp) float64 {
 // AllreduceMean averages a vector across ranks (sum allreduce then scale).
 func (c *Comm) AllreduceMean(data []float64, algo Algo) []float64 {
 	out := c.Allreduce(data, OpSum, algo)
-	inv := 1 / float64(c.Size())
-	for i := range out {
-		out[i] *= inv
-	}
+	tensor.VecScaleInto(out, out, 1/float64(c.Size()))
 	return out
+}
+
+// AllreduceMeanInPlace averages data across ranks in place: a sum
+// AllreduceInPlace followed by a SIMD scale, allocation-free for the
+// ring and recursive-doubling algorithms.
+func (c *Comm) AllreduceMeanInPlace(data []float64, algo Algo) {
+	c.AllreduceInPlace(data, OpSum, algo)
+	tensor.VecScaleInto(data, data, 1/float64(c.Size()))
 }
 
 // totalLen sums the element counts of a per-rank part list (span sizing

@@ -32,7 +32,12 @@ type Communicator interface {
 	// reduction runs in place on the caller's buffer, which must stay
 	// untouched until Wait returns it.
 	IallreduceShared(buf []float64, op ReduceOp) *AllreduceRequest
+	// AllreduceInPlace is the zero-copy Allreduce: the result overwrites
+	// data on every rank, and the ring/recursive-doubling paths allocate
+	// nothing in steady state.
+	AllreduceInPlace(data []float64, op ReduceOp, algo Algo)
 	AllreduceMean(data []float64, algo Algo) []float64
+	AllreduceMeanInPlace(data []float64, algo Algo)
 	AllreduceScalar(v float64, op ReduceOp) float64
 	ReduceScatter(data []float64, op ReduceOp) []float64
 	Allgather(data []float64) []float64

@@ -24,9 +24,6 @@ type SubComm struct {
 	members []int
 	myIdx   int
 	tagBase int
-	// scratch is the reusable ring-segment receive buffer for
-	// AllreduceInPlace (one chunk of the largest vector seen so far).
-	scratch []float64
 }
 
 // splitState coordinates one Split call across ranks.
@@ -156,63 +153,57 @@ func (s *SubComm) Probe(src, tag int) bool {
 	return s.parent.Probe(worldSrc, s.tagBase+tag)
 }
 
-// Allreduce runs a ring allreduce inside the group.
+// Base tags for the SubComm collectives. Each hierarchical pipeline
+// segment s uses its own tag triple starting at hierSegTagBase+3*s, so
+// concurrent per-segment exchanges never share a (src, tag) mailbox.
+const (
+	subRingTag     = 1
+	subBcastTag    = 3
+	hierSegTagBase = 8
+)
+
+// Allreduce runs a ring allreduce inside the group and returns a
+// pool-backed result the caller owns (receiver-owns contract, as with
+// Comm.Allreduce).
 func (s *SubComm) Allreduce(data []float64, op ReduceOp) []float64 {
-	p, r, n := s.Size(), s.myIdx, len(data)
-	if p == 1 {
-		return append([]float64(nil), data...)
-	}
-	acc := append([]float64(nil), data...)
-	right := (r + 1) % p
-	left := (r - 1 + p) % p
-	const ringTag = 1
-	for step := 0; step < p-1; step++ {
-		sendChunk := (r - step + p) % p
-		recvChunk := (r - step - 1 + p*2) % p
-		slo, shi := chunkBounds(n, p, sendChunk)
-		rlo, rhi := chunkBounds(n, p, recvChunk)
-		s.Send(right, ringTag, acc[slo:shi])
-		got := s.Recv(left, ringTag)
-		op.Combine(acc[rlo:rhi], got)
-	}
-	for step := 0; step < p-1; step++ {
-		sendChunk := (r + 1 - step + p*2) % p
-		recvChunk := (r - step + p*2) % p
-		slo, shi := chunkBounds(n, p, sendChunk)
-		rlo, _ := chunkBounds(n, p, recvChunk)
-		s.Send(right, ringTag+1, acc[slo:shi])
-		got := s.Recv(left, ringTag+1)
-		copy(acc[rlo:rlo+len(got)], got)
-	}
+	acc := s.parent.world.wire.get(len(data))
+	copy(acc, data)
+	s.allreduceInPlaceTags(acc, op, subRingTag)
 	return acc
 }
 
 // AllreduceInPlace runs the same ring allreduce as Allreduce but combines
-// into data directly, receiving ring segments into a reusable scratch
-// chunk via pooled RecvInto — no per-call allocation once scratch is
-// warm. This is the steady-state path for per-chunk gradient sync in 2D
-// (data × pipeline) training, where an allocating allreduce per chunk per
-// step would defeat the workspace pooling the trainers rely on.
+// into data directly, receiving ring segments into a pooled scratch chunk
+// via RecvInto — no per-call allocation in steady state, and results
+// bitwise identical to Allreduce. This is the path for per-chunk gradient
+// sync in 2D (data × pipeline) training, where an allocating allreduce
+// per chunk per step would defeat the workspace pooling the trainers rely
+// on.
 func (s *SubComm) AllreduceInPlace(data []float64, op ReduceOp) {
+	s.allreduceInPlaceTags(data, op, subRingTag)
+}
+
+// allreduceInPlaceTags is the tag-parameterized in-place ring core: tag
+// and tag+1 carry the reduce-scatter and allgather phases. Scratch comes
+// from the world wire pool per call, so concurrent invocations on the
+// same SubComm (the hierarchical segment pipeline) are safe.
+func (s *SubComm) allreduceInPlaceTags(data []float64, op ReduceOp, tag int) {
 	p, r, n := s.Size(), s.myIdx, len(data)
 	if p == 1 {
 		return
 	}
-	maxChunk := (n + p - 1) / p
-	if cap(s.scratch) < maxChunk {
-		s.scratch = make([]float64, maxChunk)
-	}
+	wire := &s.parent.world.wire
+	scratch := wire.get((n + p - 1) / p)
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
-	const ringTag = 1
 	for step := 0; step < p-1; step++ {
 		sendChunk := (r - step + p) % p
 		recvChunk := (r - step - 1 + p*2) % p
 		slo, shi := chunkBounds(n, p, sendChunk)
 		rlo, rhi := chunkBounds(n, p, recvChunk)
-		s.Send(right, ringTag, data[slo:shi])
-		got := s.scratch[:rhi-rlo]
-		s.RecvInto(left, ringTag, got)
+		s.Send(right, tag, data[slo:shi])
+		got := scratch[:rhi-rlo]
+		s.RecvInto(left, tag, got)
 		op.Combine(data[rlo:rhi], got)
 	}
 	for step := 0; step < p-1; step++ {
@@ -220,33 +211,65 @@ func (s *SubComm) AllreduceInPlace(data []float64, op ReduceOp) {
 		recvChunk := (r - step + p*2) % p
 		slo, shi := chunkBounds(n, p, sendChunk)
 		rlo, rhi := chunkBounds(n, p, recvChunk)
-		s.Send(right, ringTag+1, data[slo:shi])
-		got := s.scratch[:rhi-rlo]
-		s.RecvInto(left, ringTag+1, got)
-		copy(data[rlo:rhi], got)
+		s.Send(right, tag+1, data[slo:shi])
+		s.RecvInto(left, tag+1, data[rlo:rhi])
 	}
+	wire.put(scratch)
 }
 
 // Bcast distributes root's buffer (group-local root) linearly; groups are
 // small (node-local), so a tree buys nothing.
 func (s *SubComm) Bcast(root int, data []float64) []float64 {
-	const bcastTag = 3
 	if s.myIdx == root {
 		for i := range s.members {
 			if i != root {
-				s.Send(i, bcastTag, data)
+				s.Send(i, subBcastTag, data)
 			}
 		}
 		return data
 	}
-	return s.Recv(root, bcastTag)
+	return s.Recv(root, subBcastTag)
 }
+
+// bcastIntoTags distributes root's data into every member's data buffer
+// in place (lengths must match across the group), on the given tag.
+func (s *SubComm) bcastIntoTags(root int, data []float64, tag int) {
+	if s.myIdx == root {
+		for i := range s.members {
+			if i != root {
+				s.Send(i, tag, data)
+			}
+		}
+		return
+	}
+	s.RecvInto(root, tag, data)
+}
+
+// BcastInto distributes root's buffer into data on every member without
+// allocating: non-roots receive in place via the wire pool.
+func (s *SubComm) BcastInto(root int, data []float64) {
+	s.bcastIntoTags(root, data, subBcastTag)
+}
+
+// hierSegElems is the pipeline segment size (elements) for
+// HierarchicalAllreduce. Vectors that fit one segment take the
+// unsegmented schedule — bitwise identical to the historical
+// implementation — so only genuinely bandwidth-bound calls pay the
+// (order-changing, tolerance-equivalent) pipelined combine.
+const hierSegElems = 8192
 
 // HierarchicalAllreduce performs the two-level allreduce of NVLink-island
 // clusters: ring-reduce inside each node group, ring allreduce among the
 // group leaders over the slow fabric, then an intra-group broadcast.
 // groupSize is the number of ranks per node (the last group may be
 // smaller). It must be called by every rank with identical arguments.
+//
+// Vectors longer than hierSegElems are segment-pipelined: as soon as a
+// segment finishes its intra-node reduce, the leader hands it to a
+// goroutine that runs the inter-node leader exchange and the intra-node
+// broadcast on per-segment tags, overlapping the slow-fabric exchange of
+// segment s with the intra-node reduce of segment s+1 — the standard
+// hierarchical pipelining trick for hiding inter-module latency.
 func (c *Comm) HierarchicalAllreduce(data []float64, op ReduceOp, groupSize int) []float64 {
 	if groupSize < 1 {
 		panic(fmt.Sprintf("mpi: groupSize must be >=1, got %d", groupSize))
@@ -254,11 +277,6 @@ func (c *Comm) HierarchicalAllreduce(data []float64, op ReduceOp, groupSize int)
 	defer c.collective(KindHierarchicalAllreduce, len(data), fmt.Sprintf("group=%d", groupSize))()
 	node := c.rank / groupSize
 	local := c.Split(node, c.rank)
-	// Intra-node reduce: full allreduce keeps every member consistent and
-	// costs little on the fast intra-node links.
-	acc := local.Allreduce(data, op)
-
-	// Leaders (group-local rank 0) combine across nodes.
 	isLeader := local.Rank() == 0
 	var leaders *SubComm
 	if isLeader {
@@ -266,11 +284,86 @@ func (c *Comm) HierarchicalAllreduce(data []float64, op ReduceOp, groupSize int)
 	} else {
 		c.Split(-1, c.rank)
 	}
-	if isLeader {
-		if leaders.Size() > 1 {
-			acc = leaders.Allreduce(acc, op)
+
+	wire := &c.world.wire
+	if len(data) <= hierSegElems {
+		// Unsegmented path: the exact historical schedule (whole-vector
+		// intra-node reduce, leader exchange, broadcast), with the
+		// intermediates recirculated through the wire pool.
+		acc := local.Allreduce(data, op)
+		if isLeader && leaders.Size() > 1 {
+			global := leaders.Allreduce(acc, op)
+			wire.put(acc)
+			acc = global
+		}
+		out := local.Bcast(0, acc)
+		if local.Rank() != 0 {
+			// Non-roots received a fresh buffer; their local accumulator
+			// is dead.
+			wire.put(acc)
+		}
+		return out
+	}
+
+	// Pipelined path. All phases run in place on one pooled accumulator;
+	// segments are disjoint windows, so per-segment goroutines never race.
+	acc := wire.get(len(data))
+	copy(acc, data)
+	nseg := (len(data) + hierSegElems - 1) / hierSegElems
+	var wg sync.WaitGroup
+	var panicked any
+	var panicMu sync.Mutex
+	for seg := 0; seg < nseg; seg++ {
+		lo := seg * hierSegElems
+		hi := lo + hierSegElems
+		if hi > len(acc) {
+			hi = len(acc)
+		}
+		window := acc[lo:hi]
+		tag := hierSegTagBase + 3*seg
+		// Intra-node reduce for this segment (synchronous: the group ring
+		// is the fast link and every member participates).
+		local.allreduceInPlaceTags(window, op, tag)
+		if isLeader {
+			// Leader exchange + broadcast proceed concurrently while the
+			// main loop reduces the next segment. Panics (e.g. a revoked
+			// world) are forwarded to the waiting rank below, mirroring
+			// IallreduceShared.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				if leaders.Size() > 1 {
+					leaders.allreduceInPlaceTags(window, op, tag)
+				}
+				local.bcastIntoTags(0, window, tag+2)
+			}()
 		}
 	}
-	// Broadcast the global result inside each node.
-	return local.Bcast(0, acc)
+	if isLeader {
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+	} else {
+		// Members collect the broadcast segments; per-segment tags make
+		// arrival order irrelevant.
+		for seg := 0; seg < nseg; seg++ {
+			lo := seg * hierSegElems
+			hi := lo + hierSegElems
+			if hi > len(acc) {
+				hi = len(acc)
+			}
+			local.RecvInto(0, hierSegTagBase+3*seg+2, acc[lo:hi])
+		}
+	}
+	return acc
 }

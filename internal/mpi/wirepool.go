@@ -25,6 +25,14 @@ import (
 type wirePool struct {
 	mu   sync.Mutex
 	free [wireClasses][][]float64
+	// gets/puts count pool traffic (nil gets and ignored foreign puts
+	// excluded). Over a window of purely internal circulation — e.g. a
+	// steady-state AllreduceInPlace loop — the two advance in lockstep;
+	// a growing gets-puts gap inside such a window is a leaked buffer.
+	// User-owned Recv payloads legitimately widen the gap (receiver owns
+	// the buffer, never returns it), so the invariant is per-window, not
+	// global. The collective tests pin it via World.WireStats.
+	gets, puts uint64
 }
 
 const wireClasses = 48
@@ -47,6 +55,7 @@ func (p *wirePool) get(n int) []float64 {
 	}
 	c := wireClass(n)
 	p.mu.Lock()
+	p.gets++
 	if fl := p.free[c]; len(fl) > 0 {
 		b := fl[len(fl)-1]
 		fl[len(fl)-1] = nil
@@ -75,6 +84,14 @@ func (p *wirePool) put(b []float64) {
 		return
 	}
 	p.mu.Lock()
+	p.puts++
 	p.free[c] = append(p.free[c], b)
 	p.mu.Unlock()
+}
+
+// stats returns the cumulative get/put counts.
+func (p *wirePool) stats() (gets, puts uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.puts
 }

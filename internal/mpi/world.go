@@ -236,6 +236,12 @@ func (w *World) DefaultAlgo() Algo {
 	return AlgoAuto
 }
 
+// WireStats returns the cumulative wire-pool get/put counts. Over a
+// window of purely internal buffer circulation (in-place collectives)
+// the two deltas match exactly; the collective tests use this as a
+// buffer-leak check.
+func (w *World) WireStats() (gets, puts uint64) { return w.wire.stats() }
+
 // Comm returns the communicator handle for a rank.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {

@@ -1,8 +1,6 @@
 package nn
 
 import (
-	"math"
-
 	"repro/internal/tensor"
 )
 
@@ -33,7 +31,7 @@ func Activate(ws *tensor.Workspace, logits *tensor.Tensor, act Activation) *tens
 	case ActSoftmax:
 		return tensor.SoftmaxRowsInto(ws.Get(logits.Shape()...), logits)
 	case ActSigmoid:
-		return tensor.ApplyInto(ws.Get(logits.Shape()...), logits, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		return tensor.SigmoidInto(ws.Get(logits.Shape()...), logits)
 	default:
 		return logits
 	}

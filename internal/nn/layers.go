@@ -106,7 +106,7 @@ func (s *Sigmoid) SetWorkspace(ws *tensor.Workspace) { s.ws = ws }
 
 // Forward computes σ(x), caching the output for the backward pass.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	s.out = tensor.ApplyInto(s.ws.Get(x.Shape()...), x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.out = tensor.SigmoidInto(s.ws.Get(x.Shape()...), x)
 	return s.out
 }
 
@@ -134,7 +134,7 @@ func (t *Tanh) SetWorkspace(ws *tensor.Workspace) { t.ws = ws }
 
 // Forward computes tanh(x).
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	t.out = tensor.ApplyInto(t.ws.Get(x.Shape()...), x, math.Tanh)
+	t.out = tensor.TanhInto(t.ws.Get(x.Shape()...), x)
 	return t.out
 }
 

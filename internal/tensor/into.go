@@ -58,7 +58,7 @@ func AddInto(out, a, b *Tensor) *Tensor {
 	if out.dtype == Float32 {
 		ewRange(out.data32, a.data32, b.data32, 1, addRange[float32])
 	} else {
-		ewRange(out.data, a.data, b.data, 1, addRange[float64])
+		VecAddInto(out.data, a.data, b.data)
 	}
 	return out
 }
@@ -82,7 +82,7 @@ func MulInto(out, a, b *Tensor) *Tensor {
 	if out.dtype == Float32 {
 		ewRange(out.data32, a.data32, b.data32, 1, mulRange[float32])
 	} else {
-		ewRange(out.data, a.data, b.data, 1, mulRange[float64])
+		VecMulInto(out.data, a.data, b.data)
 	}
 	return out
 }

@@ -50,9 +50,7 @@ func (t *Tensor) MulInPlace(b *Tensor) *Tensor { return MulInto(t, t, b) }
 
 // Scale multiplies every element by s in place.
 func (t *Tensor) Scale(s float64) *Tensor {
-	for i := range t.data {
-		t.data[i] *= s
-	}
+	VecScaleInto(t.data, t.data, s)
 	return t
 }
 
@@ -67,9 +65,7 @@ func (t *Tensor) AddScalar(s float64) *Tensor {
 // Axpy performs t += alpha*x (BLAS axpy) in place.
 func (t *Tensor) Axpy(alpha float64, x *Tensor) *Tensor {
 	checkSame("Axpy", t, x)
-	for i := range t.data {
-		t.data[i] += alpha * x.data[i]
-	}
+	AxpyInto(t.data, alpha, x.data)
 	return t
 }
 

@@ -28,3 +28,94 @@ func axpyFMAGo(alpha float64, x, y []float64) {
 		y[i] = math.FMA(alpha, x[i], y[i])
 	}
 }
+
+// Scalar references for the vector-op layer (vec.go). Unlike the FMA
+// kernels above, these are plain one-rounding-per-operation loops: the
+// AVX2 versions execute the same IEEE operation per element, so scalar
+// and vector results are bit-identical by construction (including NaN
+// propagation and signed zeros — see the VMAXPD/VCMPPD notes in
+// vec_amd64.s).
+
+func vecAddGo(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+func vecMulGo(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// vecMaxGo is the max-combine update: b wins only on a strict >, so NaN
+// and equal-magnitude ties keep a — the semantics mpi.OpMax has always
+// had (`if src > dst { dst = src }`).
+func vecMaxGo(dst, a, b []float64) {
+	for i := range dst {
+		av, bv := a[i], b[i]
+		if bv > av {
+			dst[i] = bv
+		} else {
+			dst[i] = av
+		}
+	}
+}
+
+func vecMinGo(dst, a, b []float64) {
+	for i := range dst {
+		av, bv := a[i], b[i]
+		if bv < av {
+			dst[i] = bv
+		} else {
+			dst[i] = av
+		}
+	}
+}
+
+func vecScaleGo(dst, a []float64, s float64) {
+	for i := range dst {
+		dst[i] = a[i] * s
+	}
+}
+
+// vecAxpyPlainGo is y += alpha*x with two roundings (multiply, then
+// add) — deliberately NOT math.FMA, so it matches the historical scalar
+// Tensor.Axpy loop bit for bit.
+func vecAxpyPlainGo(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// vecSumGo fixes the 4-lane accumulation order shared with vecSumAVX:
+// lane j accumulates x[j], x[j+4], …; lanes fold as (l0+l2)+(l1+l3);
+// the <4 remainder folds into the total last.
+func vecSumGo(x []float64) float64 {
+	var l0, l1, l2, l3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		l0 += x[i]
+		l1 += x[i+1]
+		l2 += x[i+2]
+		l3 += x[i+3]
+	}
+	s := (l0 + l2) + (l1 + l3)
+	for ; i < len(x); i++ {
+		s += x[i]
+	}
+	return s
+}
+
+// vecReLUGo keeps the scalar rectifier's exact branch: v <= 0 writes a
+// literal +0 (so -0 maps to +0), anything else — including NaN — passes
+// through.
+func vecReLUGo(dst, a []float64) {
+	for i, v := range a {
+		if v <= 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = v
+		}
+	}
+}

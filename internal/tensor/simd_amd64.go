@@ -2,11 +2,37 @@
 
 package tensor
 
+import "os"
+
 //go:noescape
 func gemm4x8AVX(k int, ap, bp, c *float64, ldc int)
 
 //go:noescape
 func axpyAVX(alpha float64, x, y *float64, n int)
+
+//go:noescape
+func vecAddAVX(dst, a, b *float64, n int)
+
+//go:noescape
+func vecMulAVX(dst, a, b *float64, n int)
+
+//go:noescape
+func vecMaxAVX(dst, a, b *float64, n int)
+
+//go:noescape
+func vecMinAVX(dst, a, b *float64, n int)
+
+//go:noescape
+func vecScaleAVX(dst, a *float64, s float64, n int)
+
+//go:noescape
+func vecAxpyPlainAVX(alpha float64, x, y *float64, n int)
+
+//go:noescape
+func vecSumAVX(x *float64, n int) float64
+
+//go:noescape
+func vecReLUAVX(dst, a *float64, n int)
 
 func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
@@ -14,8 +40,10 @@ func xgetbvAsm() (eax, edx uint32)
 
 // useAVX gates the assembly kernels on AVX2+FMA with OS-enabled YMM
 // state. Tests flip it to cross-check the assembly against the portable
-// math.FMA fallbacks bit for bit.
-var useAVX = detectAVX2FMA()
+// math.FMA fallbacks bit for bit; setting MSA_NO_AVX=1 forces the
+// pure-Go path for a whole process (CI runs the collective race suite
+// both ways).
+var useAVX = os.Getenv("MSA_NO_AVX") == "" && detectAVX2FMA()
 
 func detectAVX2FMA() bool {
 	maxID, _, _, _ := cpuidAsm(0, 0)
@@ -58,4 +86,94 @@ func axpyFMA(alpha float64, x, y []float64) {
 		return
 	}
 	axpyFMAGo(alpha, x, y)
+}
+
+// Slice-level dispatchers for the vector-op layer. Callers (vec.go)
+// guarantee len(a), len(b) >= len(dst).
+
+func vecAdd(dst, a, b []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX {
+		vecAddAVX(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	vecAddGo(dst, a, b)
+}
+
+func vecMul(dst, a, b []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX {
+		vecMulAVX(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	vecMulGo(dst, a, b)
+}
+
+func vecMax(dst, a, b []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX {
+		vecMaxAVX(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	vecMaxGo(dst, a, b)
+}
+
+func vecMin(dst, a, b []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX {
+		vecMinAVX(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	vecMinGo(dst, a, b)
+}
+
+func vecScale(dst, a []float64, s float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX {
+		vecScaleAVX(&dst[0], &a[0], s, len(dst))
+		return
+	}
+	vecScaleGo(dst, a, s)
+}
+
+func vecAxpyPlain(alpha float64, x, y []float64) {
+	if len(y) == 0 {
+		return
+	}
+	if useAVX {
+		vecAxpyPlainAVX(alpha, &x[0], &y[0], len(y))
+		return
+	}
+	vecAxpyPlainGo(alpha, x, y)
+}
+
+func vecSum(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if useAVX {
+		return vecSumAVX(&x[0], len(x))
+	}
+	return vecSumGo(x)
+}
+
+func vecReLU(dst, a []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if useAVX {
+		vecReLUAVX(&dst[0], &a[0], len(dst))
+		return
+	}
+	vecReLUGo(dst, a)
 }

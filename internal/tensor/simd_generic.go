@@ -14,3 +14,12 @@ func gemm4x8(k int, ap, bp, c []float64, ldc int) {
 func axpyFMA(alpha float64, x, y []float64) {
 	axpyFMAGo(alpha, x, y)
 }
+
+func vecAdd(dst, a, b []float64)                 { vecAddGo(dst, a, b) }
+func vecMul(dst, a, b []float64)                 { vecMulGo(dst, a, b) }
+func vecMax(dst, a, b []float64)                 { vecMaxGo(dst, a, b) }
+func vecMin(dst, a, b []float64)                 { vecMinGo(dst, a, b) }
+func vecScale(dst, a []float64, s float64)       { vecScaleGo(dst, a, s) }
+func vecAxpyPlain(alpha float64, x, y []float64) { vecAxpyPlainGo(alpha, x, y) }
+func vecSum(x []float64) float64                 { return vecSumGo(x) }
+func vecReLU(dst, a []float64)                   { vecReLUGo(dst, a) }

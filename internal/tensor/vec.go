@@ -1,0 +1,204 @@
+package tensor
+
+import "math"
+
+// The shared SIMD vector-op layer: flat []float64 kernels used by the
+// tensor elementwise ops and, through mpi.ReduceOp, by every collective's
+// combine phase. Each op has one slice-level entry point that dispatches
+// to AVX2 assembly when the host supports it (useAVX, simd_amd64.go) and
+// to a pure-Go loop otherwise, parallelized through the ParallelFor
+// runtime above the grain threshold.
+//
+// Bitwise contract: vectorization never changes results. The elementwise
+// ops perform exactly the per-index operations of their scalar loops (one
+// IEEE add/mul/compare per element, in the same operand order), so the
+// assembly, the Go fallback, and any worker count produce bit-identical
+// outputs — the property the mpi collectives' equivalence guarantees
+// (PR 4/6) rest on, pinned by the property tests in vec_test.go. VecSum
+// is the one reduction: it fixes a 4-lane accumulation order shared by
+// the assembly and the Go fallback, and stays serial so its result is
+// independent of the worker count.
+//
+// dst may alias an input exactly (dst == a or dst == b); partial overlap
+// is undefined. Inputs may be longer than dst; extra elements are
+// ignored, which lets mpi combine a received chunk into a window of the
+// accumulator without reslicing.
+
+// vecCost is the approximate scalar-op cost per index of the arithmetic
+// vector ops (shared with the ewRange elementwise kernels).
+const vecCost = 1
+
+// checkVec2 panics unless a and b cover dst, returning them clipped to
+// dst's length.
+func checkVec2(op string, dst, a, b []float64) ([]float64, []float64) {
+	if len(a) < len(dst) || len(b) < len(dst) {
+		panic("tensor: " + op + " input shorter than dst")
+	}
+	return a[:len(dst)], b[:len(dst)]
+}
+
+// VecAddInto sets dst[i] = a[i] + b[i]. dst may alias a or b.
+func VecAddInto(dst, a, b []float64) {
+	a, b = checkVec2("VecAddInto", dst, a, b)
+	n := len(dst)
+	if shouldPar(n, vecCost) {
+		ParallelFor(n, vecCost, func(lo, hi int) { vecAdd(dst[lo:hi], a[lo:hi], b[lo:hi]) })
+		return
+	}
+	vecAdd(dst, a, b)
+}
+
+// VecMulInto sets dst[i] = a[i] * b[i]. dst may alias a or b.
+func VecMulInto(dst, a, b []float64) {
+	a, b = checkVec2("VecMulInto", dst, a, b)
+	n := len(dst)
+	if shouldPar(n, vecCost) {
+		ParallelFor(n, vecCost, func(lo, hi int) { vecMul(dst[lo:hi], a[lo:hi], b[lo:hi]) })
+		return
+	}
+	vecMul(dst, a, b)
+}
+
+// VecMaxInto sets dst[i] = b[i] if b[i] > a[i], else a[i] — exactly the
+// `if src > dst { dst = src }` update of a max-reduction combine, so NaNs
+// and signed zeros in a win ties. dst may alias a or b.
+func VecMaxInto(dst, a, b []float64) {
+	a, b = checkVec2("VecMaxInto", dst, a, b)
+	n := len(dst)
+	if shouldPar(n, vecCost) {
+		ParallelFor(n, vecCost, func(lo, hi int) { vecMax(dst[lo:hi], a[lo:hi], b[lo:hi]) })
+		return
+	}
+	vecMax(dst, a, b)
+}
+
+// VecMinInto sets dst[i] = b[i] if b[i] < a[i], else a[i] (the min-combine
+// mirror of VecMaxInto). dst may alias a or b.
+func VecMinInto(dst, a, b []float64) {
+	a, b = checkVec2("VecMinInto", dst, a, b)
+	n := len(dst)
+	if shouldPar(n, vecCost) {
+		ParallelFor(n, vecCost, func(lo, hi int) { vecMin(dst[lo:hi], a[lo:hi], b[lo:hi]) })
+		return
+	}
+	vecMin(dst, a, b)
+}
+
+// VecScaleInto sets dst[i] = a[i] * s. dst may alias a.
+func VecScaleInto(dst, a []float64, s float64) {
+	if len(a) < len(dst) {
+		panic("tensor: VecScaleInto input shorter than dst")
+	}
+	a = a[:len(dst)]
+	n := len(dst)
+	if shouldPar(n, vecCost) {
+		ParallelFor(n, vecCost, func(lo, hi int) { vecScale(dst[lo:hi], a[lo:hi], s) })
+		return
+	}
+	vecScale(dst, a, s)
+}
+
+// AxpyInto performs dst[i] += alpha * x[i] with a separately rounded
+// multiply and add (NOT fused), matching the scalar `dst += alpha*x` loop
+// bit for bit. The matmul kernels use the exactly-rounded FMA chain
+// instead; this op exists for the optimizer/gradient update idiom.
+func AxpyInto(dst []float64, alpha float64, x []float64) {
+	if len(x) < len(dst) {
+		panic("tensor: AxpyInto input shorter than dst")
+	}
+	x = x[:len(dst)]
+	n := len(dst)
+	if shouldPar(n, vecCost*2) {
+		ParallelFor(n, vecCost*2, func(lo, hi int) { vecAxpyPlain(alpha, x[lo:hi], dst[lo:hi]) })
+		return
+	}
+	vecAxpyPlain(alpha, x, dst)
+}
+
+// VecSum returns the sum of x under a fixed 4-lane accumulation order
+// (lane j takes x[j], x[j+4], …; lanes fold as (l0+l2)+(l1+l3); the
+// remainder folds in last). The assembly and Go paths implement the same
+// order, so the result is bit-identical everywhere — and the op stays
+// serial, so it is also independent of the configured worker count.
+func VecSum(x []float64) float64 {
+	return vecSum(x)
+}
+
+// vecSigmoid and vecTanh are the direct-loop activation kernels: the same
+// per-element expressions the ApplyInto closures compute, without the
+// per-element indirect call. math.Exp/math.Tanh are scalar (no bitwise
+// vector equivalent exists), so these win on call overhead and
+// parallelization, not instruction width.
+func vecSigmoid(dst, a []float64) {
+	for i, v := range a {
+		dst[i] = 1 / (1 + math.Exp(-v))
+	}
+}
+
+func vecTanh(dst, a []float64) {
+	for i, v := range a {
+		dst[i] = math.Tanh(v)
+	}
+}
+
+// activationCost mirrors ApplyInto's parallelization threshold for
+// function-call-heavy elementwise loops.
+const activationCost = 16
+
+// SigmoidInto sets out = 1/(1+exp(-a)) elementwise, bit-identical to
+// ApplyInto with the sigmoid closure. out may alias a. Float32 tensors
+// take the widening ApplyInto path unchanged.
+func SigmoidInto(out, a *Tensor) *Tensor {
+	checkSame("SigmoidInto", out, a)
+	if out.dtype != Float64 {
+		return ApplyInto(out, a, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	}
+	od, ad := out.data, a.data
+	if shouldPar(len(od), activationCost) {
+		ParallelFor(len(od), activationCost, func(lo, hi int) { vecSigmoid(od[lo:hi], ad[lo:hi]) })
+	} else {
+		vecSigmoid(od, ad)
+	}
+	return out
+}
+
+// TanhInto sets out = tanh(a) elementwise, bit-identical to ApplyInto
+// with math.Tanh. out may alias a.
+func TanhInto(out, a *Tensor) *Tensor {
+	checkSame("TanhInto", out, a)
+	if out.dtype != Float64 {
+		return ApplyInto(out, a, math.Tanh)
+	}
+	od, ad := out.data, a.data
+	if shouldPar(len(od), activationCost) {
+		ParallelFor(len(od), activationCost, func(lo, hi int) { vecTanh(od[lo:hi], ad[lo:hi]) })
+	} else {
+		vecTanh(od, ad)
+	}
+	return out
+}
+
+// ReLUInto sets out[i] = a[i] unless a[i] <= 0, in which case +0 — the
+// exact branch semantics of the scalar rectifier (NaN passes through,
+// -0 maps to +0), vectorized as a compare+mask. out may alias a.
+func ReLUInto(out, a *Tensor) *Tensor {
+	checkSame("ReLUInto", out, a)
+	if out.dtype != Float64 {
+		od, ad := out.data32, a.data32
+		for i, v := range ad {
+			if v <= 0 {
+				od[i] = 0
+			} else {
+				od[i] = v
+			}
+		}
+		return out
+	}
+	od, ad := out.data, a.data
+	if shouldPar(len(od), vecCost) {
+		ParallelFor(len(od), vecCost, func(lo, hi int) { vecReLU(od[lo:hi], ad[lo:hi]) })
+	} else {
+		vecReLU(od, ad)
+	}
+	return out
+}
